@@ -1,0 +1,141 @@
+"""The paper's programs, shared by all benchmarks.
+
+Each function returns a freshly-compiled :class:`repro.core.LoopNest`.
+Sizes follow the paper where it gives them (Example 2: 100×100 iterations,
+100 processors) and use laptop-friendly defaults elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.core import LoopNest
+from repro.lang import compile_nest
+
+__all__ = [
+    "example2",
+    "example3",
+    "example6",
+    "example8",
+    "example9",
+    "example10",
+    "figure9",
+    "matmul_sync",
+]
+
+
+def example2() -> LoopNest:
+    """Example 2 / Figure 3: the 104-vs-140 comparison (100 processors)."""
+    return compile_nest(
+        """
+        Doall (i, 101, 200)
+          Doall (j, 1, 100)
+            A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3]
+          EndDoall
+        EndDoall
+        """
+    )
+
+
+def example3(n: int = 36) -> LoopNest:
+    """Example 3: parallelogram tiles beat rectangles."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            A[i,j] = B[i,j] + B[i+1,j+3]
+          EndDoall
+        EndDoall
+        """,
+        {"N": n},
+    )
+
+
+def example6() -> LoopNest:
+    """Example 6 / Figures 5-7: the skewed-tile footprint."""
+    return compile_nest(
+        """
+        Doall (i, 0, 99)
+          Doall (j, 0, 99)
+            A[i,j] = B[i+j,j] + B[i+j+1,j+2]
+          EndDoall
+        EndDoall
+        """
+    )
+
+
+def example8(n: int = 24) -> LoopNest:
+    """Example 8: the 2:3:4 three-dimensional stencil."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            Doall (k, 1, N)
+              A(i,j,k) = B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)
+            EndDoall
+          EndDoall
+        EndDoall
+        """,
+        {"N": n},
+    )
+
+
+def example9(n: int = 36) -> LoopNest:
+    """Example 9: two uniformly intersecting classes (B and C)."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            A(i,j) = B(i-2,j) + B(i,j-1) + C(i+j,j) + C(i+j+1,j+3)
+          EndDoall
+        EndDoall
+        """,
+        {"N": n},
+    )
+
+
+def example10(n: int = 36) -> LoopNest:
+    """Example 10: non-unimodular and singular reference matrices."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            A(i,j) = B(i+j,i-j) + B(i+j+4,i-j+2) + C(i,2i,i+2j-1) + C(i+1,2i+2,i+2j+1) + C(i,2i,i+2j+1)
+          EndDoall
+        EndDoall
+        """,
+        {"N": n},
+    )
+
+
+def figure9(n: int = 12, t: int = 3) -> LoopNest:
+    """Figure 9: the Example 8 body under a sequential sweep loop, with B
+    updated in place so steady-state coherence traffic exists."""
+    return compile_nest(
+        """
+        Doseq (t, 1, T)
+          Doall (i, 1, N)
+            Doall (j, 1, N)
+              Doall (k, 1, N)
+                B(i,j,k) = B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)
+              EndDoall
+            EndDoall
+          EndDoall
+        EndDoseq
+        """,
+        {"N": n, "T": t},
+    )
+
+
+def matmul_sync(n: int = 8) -> LoopNest:
+    """Figure 11 / Appendix A: matmul with fine-grain sync accumulates."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            Doall (k, 1, N)
+              l$C[i,j] = l$C[i,j] + A[i,k] * B[k,j]
+            EndDoall
+          EndDoall
+        EndDoall
+        """,
+        {"N": n},
+    )

@@ -1,0 +1,67 @@
+"""E2 — Example 6 / Figures 5-6: footprint of a skewed tile.
+
+Paper claims: for the tile ``L = [[L1, L1], [L2, 0]]`` and reference
+``B[i+j, j]`` (``G = [[1,0],[1,1]]``), the footprint is the integer points
+of the parallelogram ``LG = [[2L1, L1], [L2, 0]]``, of size
+``L1·L2 + L1 + L2`` ("plus the number of integer points on the boundary",
+which closes to ``+1``).
+
+Regenerated with Pick's theorem (closed form) and validated against the
+brute-force oracle for a range of (L1, L2).
+"""
+
+import pytest
+
+from repro.core import AffineRef, ParallelepipedTile, footprint_size_exact
+from repro.core.footprint import footprint_size_theorem1
+from repro.sim import format_table
+
+SIZES = [(3, 4), (5, 7), (8, 8), (10, 6), (12, 12)]
+
+
+def make(l1, l2):
+    tile = ParallelepipedTile([[l1, l1], [l2, 0]])
+    ref = AffineRef("B", [[1, 0], [1, 1]], [0, 0])
+    return tile, ref
+
+
+def test_closed_form_matches_paper_expression(benchmark):
+    def run():
+        rows = []
+        for l1, l2 in SIZES:
+            tile, ref = make(l1, l2)
+            got = footprint_size_theorem1(ref, tile)
+            rows.append((l1, l2, l1 * l2 + l1 + l2 + 1, got))
+        return rows
+
+    rows = benchmark(run)
+    for l1, l2, paper, got in rows:
+        assert got == paper, (l1, l2)
+    print()
+    print(format_table(["L1", "L2", "paper L1L2+L1+L2 (+1)", "computed"], rows))
+
+
+def test_oracle_agrees(benchmark):
+    def run():
+        return [
+            footprint_size_exact(*reversed(make(l1, l2)), closed=True)
+            for l1, l2 in SIZES
+        ]
+
+    got = benchmark(run)
+    assert got == [l1 * l2 + l1 + l2 + 1 for l1, l2 in SIZES]
+
+
+def test_second_reference_same_size(benchmark):
+    """Proposition 1: footprints of uniformly intersecting references are
+    translations — identical sizes for B[i+j+1, j+2]."""
+    def run():
+        out = []
+        for l1, l2 in SIZES:
+            tile, _ = make(l1, l2)
+            ref2 = AffineRef("B", [[1, 0], [1, 1]], [1, 2])
+            out.append(footprint_size_exact(ref2, tile, closed=True))
+        return out
+
+    got = benchmark(run)
+    assert got == [l1 * l2 + l1 + l2 + 1 for l1, l2 in SIZES]

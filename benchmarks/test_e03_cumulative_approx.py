@@ -1,0 +1,104 @@
+"""E3 — Figures 7-8: the cumulative-footprint approximation.
+
+Paper claim (Section 3.5): the cumulative footprint of a uniformly
+intersecting set is approximately ``|det LG| + Σ_i |det LG_{i→â}|``
+(ignoring the two corner triangles), and "this approximation is
+reasonable if we assume that the constant terms ... are small compared to
+the tile size."
+
+Regenerated: relative error of Theorem 2 (and Theorem 4 for rectangular
+tiles) against the exact union, as the tile grows — the error must shrink.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AffineRef,
+    ParallelepipedTile,
+    RectangularTile,
+    cumulative_footprint_rect,
+    cumulative_footprint_size,
+    cumulative_footprint_size_exact,
+    partition_references,
+)
+from repro.sim import format_table
+
+
+def figure7_class():
+    """Example 6's B class: G=[[1,0],[1,1]], offsets (0,0) and (1,2)."""
+    refs = [
+        AffineRef("B", [[1, 0], [1, 1]], [0, 0]),
+        AffineRef("B", [[1, 0], [1, 1]], [1, 2]),
+    ]
+    (s,) = partition_references(refs)
+    return s
+
+
+def test_theorem2_error_shrinks(benchmark):
+    s = figure7_class()
+
+    def run():
+        rows = []
+        for size in (4, 8, 16, 32):
+            tile = ParallelepipedTile([[size, size], [size, 0]])
+            approx = cumulative_footprint_size(s, tile)
+            exact = cumulative_footprint_size_exact(s, tile)
+            rows.append((size, exact, round(approx, 1), abs(approx - exact) / exact))
+        return rows
+
+    rows = benchmark(run)
+    errors = [r[3] for r in rows]
+    assert errors[-1] < errors[0]
+    assert errors[-1] < 0.10
+    print()
+    print(format_table(["tile size", "exact", "Theorem 2", "rel err"], rows))
+
+
+def test_theorem4_error_shrinks(benchmark):
+    s = figure7_class()
+
+    def run():
+        rows = []
+        for size in (4, 8, 16, 32, 64):
+            tile = RectangularTile([size, size])
+            approx = cumulative_footprint_rect(s, tile)
+            exact = cumulative_footprint_size_exact(s, tile)
+            rows.append((size, exact, approx, abs(approx - exact) / exact))
+        return rows
+
+    rows = benchmark(run)
+    errors = [r[3] for r in rows]
+    assert errors[-1] <= errors[0]
+    assert errors[-1] < 0.02
+    print()
+    print(format_table(["tile side", "exact", "Theorem 4", "rel err"], rows))
+
+
+def test_exact_path_speed(benchmark):
+    """The exact bounded-lattice union is itself cheap (no enumeration)."""
+    s = figure7_class()
+    tile = RectangularTile([256, 256])
+    exact = benchmark(lambda: cumulative_footprint_size_exact(s, tile))
+    # Lemma 3 closed form: offsets differ by (1,2) = -1*(1,0) + 2*(1,1),
+    # so |u| = (1,2) and the union is 2*256^2 - (256-1)*(256-2).
+    assert exact == 2 * 256 * 256 - 255 * 254
+
+
+def test_large_offsets_break_approximation(benchmark):
+    """The paper's caveat: offsets comparable to the tile make the
+    determinant estimate unreliable (footprints disjoint, union = 2x)."""
+    refs = [
+        AffineRef("B", [[1, 0], [0, 1]], [0, 0]),
+        AffineRef("B", [[1, 0], [0, 1]], [50, 50]),
+    ]
+    (s,) = partition_references(refs)
+    tile = RectangularTile([8, 8])
+    exact, approx = benchmark(
+        lambda: (
+            cumulative_footprint_size_exact(s, tile),
+            cumulative_footprint_rect(s, tile),
+        )
+    )
+    assert exact == 2 * 64               # disjoint
+    assert approx > 3 * exact            # estimate blows past it

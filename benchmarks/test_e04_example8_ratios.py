@@ -1,0 +1,113 @@
+"""E4 — Example 8: the 2:3:4 rectangular optimum and the Abraham-Hudak
+equivalence.
+
+Paper claims:
+  * cumulative footprint of B = ``L_iL_jL_k + 2L_jL_k + 3L_iL_k + 4L_iL_j``;
+  * minimised at ``L_i : L_j : L_k :: 2 : 3 : 4``;
+  * "Abraham and Hudak's algorithm gives an identical partition."
+
+Regenerated: the Lagrange optimum, the integer grid search, the A&H
+baseline, and a figure-style aspect-ratio sweep (simulated misses per
+grid) whose minimum falls on the chosen grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.abraham_hudak import abraham_hudak_partition
+from repro.core import (
+    RectangularTile,
+    optimize_rectangular,
+    partition_references,
+)
+from repro.core.optimize import factorizations
+from repro.lang import compile_nest
+from repro.sim import format_table, simulate_nest
+
+from .paper_programs import example8
+
+
+def ah_variant(n=24):
+    """Example 8 body with B renamed to A so it fits A&H's single-array,
+    G = I domain (the paper compares in that domain)."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+         Doall (j, 1, N)
+          Doall (k, 1, N)
+           A(i,j,k) = A(i-1,j,k+1) + A(i,j+1,k) + A(i+1,j-2,k-3)
+          EndDoall
+         EndDoall
+        EndDoall
+        """,
+        {"N": n},
+    )
+
+
+def test_continuous_ratio(benchmark):
+    nest = example8()
+    sets = partition_references(nest.accesses)
+    res = benchmark(lambda: optimize_rectangular(sets, nest.space, 8))
+    c = res.continuous_sides
+    assert c[0] / 2 == pytest.approx(c[1] / 3)
+    assert c[1] / 3 == pytest.approx(c[2] / 4)
+    assert res.coefficients.tolist() == [2.0, 3.0, 4.0]
+
+
+def test_footprint_expression(benchmark):
+    """B's Theorem-4 footprint == the paper's polynomial."""
+    from repro.core import cumulative_footprint_rect
+
+    nest = example8()
+    bset = next(s for s in partition_references(nest.accesses) if s.array == "B")
+
+    def run():
+        rows = []
+        for sides in ([12, 12, 12], [24, 12, 6], [6, 12, 24], [8, 12, 18]):
+            si, sj, sk = sides
+            paper = si * sj * sk + 2 * sj * sk + 3 * si * sk + 4 * si * sj
+            got = cumulative_footprint_rect(bset, RectangularTile(sides))
+            rows.append((tuple(sides), paper, got))
+        return rows
+
+    rows = benchmark(run)
+    for sides, paper, got in rows:
+        assert got == paper, sides
+
+
+def test_abraham_hudak_identical(benchmark):
+    nest = ah_variant()
+    def run():
+        ah = abraham_hudak_partition(nest, 8)
+        fw = optimize_rectangular(partition_references(nest.accesses), nest.space, 8)
+        return ah, fw
+
+    ah, fw = benchmark(run)
+    assert ah.grid == fw.grid == (2, 2, 2)
+    assert ah.tile.sides.tolist() == fw.tile.sides.tolist() == [12, 12, 12]
+
+
+def test_aspect_ratio_sweep_minimum(benchmark):
+    """Figure-style series: simulated misses per processor grid; the
+    framework's grid is the global minimum."""
+    nest = example8(12)
+    p = 8
+
+    def run():
+        rows = []
+        for grid in factorizations(p, 3):
+            if any(g > 12 for g in grid):
+                continue
+            sides = [-(-12 // g) for g in grid]
+            r = simulate_nest(nest, RectangularTile(sides), p)
+            rows.append((grid, tuple(sides), r.total_misses))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    best = min(rows, key=lambda t: t[2])
+    chosen = optimize_rectangular(
+        partition_references(nest.accesses), nest.space, p
+    )
+    assert best[0] == chosen.grid == (2, 2, 2)
+    print()
+    print(format_table(["grid", "tile sides", "simulated total misses"], rows))

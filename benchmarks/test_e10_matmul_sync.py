@@ -1,0 +1,105 @@
+"""E10 — Figure 11 / Appendix A: matmul with fine-grain synchronization.
+
+Paper claims:
+  * Section 1: "matrix multiply distributed to the processors by square
+    blocks has a much higher degree of reuse than ... by rows or columns";
+  * Section 2.1: matmul does not fit Abraham & Hudak's restrictions;
+  * Appendix A: the ``l$`` accumulates "are both treated as writes by the
+    coherence system" — modelled as slightly more expensive communication.
+
+Regenerated: simulated misses for block vs row vs column partitions of
+the Figure 11 nest; the framework picks a k-uncut block grid (keeping C
+private); cutting k instead triggers invalidation ping-pong.
+"""
+
+import pytest
+
+from repro.baselines.abraham_hudak import abraham_hudak_partition
+from repro.core import LoopPartitioner, RectangularTile
+from repro.exceptions import PartitionError
+from repro.sim import format_table, simulate_nest
+
+from .paper_programs import matmul_sync
+
+N = 8
+P = 4
+
+PARTITIONS = {
+    "blocks (2,2,1)": [4, 4, 8],
+    "rows (4,1,1)": [2, 8, 8],
+    "cols (1,4,1)": [8, 2, 8],
+    "k-cut (1,1,4)": [8, 8, 2],
+}
+
+
+def test_blocks_beat_strips(benchmark):
+    nest = matmul_sync(N)
+
+    def run():
+        return {
+            name: simulate_nest(nest, RectangularTile(sides), P)
+            for name, sides in PARTITIONS.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    blocks = results["blocks (2,2,1)"]
+    assert blocks.total_misses < results["rows (4,1,1)"].total_misses
+    assert blocks.total_misses < results["cols (1,4,1)"].total_misses
+    assert blocks.total_misses < results["k-cut (1,1,4)"].total_misses
+    rows = [
+        [name, r.total_misses, r.invalidations, r.shared_elements.get("C", 0)]
+        for name, r in results.items()
+    ]
+    print()
+    print(format_table(["partition", "total misses", "invalidations", "shared C"], rows))
+
+
+def test_framework_picks_blocks(benchmark):
+    nest = matmul_sync(N)
+    part = benchmark(lambda: LoopPartitioner(nest, P).partition())
+    assert part.grid is not None
+    assert part.grid[2] == 1  # never cut k: C stays private
+    assert sorted(part.grid[:2]) == [2, 2]
+    r = simulate_nest(nest, part.tile, P)
+    assert r.shared_elements["C"] == 0
+    assert r.invalidations == 0
+
+
+def test_k_cut_causes_invalidations(benchmark):
+    nest = matmul_sync(N)
+    r = benchmark.pedantic(
+        lambda: simulate_nest(nest, RectangularTile([8, 8, 2]), P),
+        rounds=1,
+        iterations=1,
+    )
+    assert r.shared_elements["C"] == N * N
+    assert r.invalidations > 0
+    assert r.coherence_misses > 0
+
+
+def test_outside_abraham_hudak_domain(benchmark):
+    """Section 2.1's complaint about prior work, mechanically."""
+    nest = matmul_sync(N)
+
+    def run():
+        try:
+            abraham_hudak_partition(nest, P)
+            return False
+        except PartitionError:
+            return True
+
+    assert benchmark(run)
+
+
+def test_sync_counted_as_writes(benchmark):
+    nest = matmul_sync(N)
+    r = benchmark.pedantic(
+        lambda: simulate_nest(nest, RectangularTile([4, 4, 8]), P),
+        rounds=1,
+        iterations=1,
+    )
+    writes = sum(p.write_misses + p.write_upgrades for p in r.processors)
+    assert writes > 0  # the l$C accumulates took the write path
+    for p in r.processors:
+        # each processor writes its own 4x4 C block once (then hits)
+        assert p.footprint["C"] == 16

@@ -1,0 +1,92 @@
+"""E11 — Example 1, Section 3.4.1, Example 7: column reductions.
+
+Paper claims:
+  * Example 1: zero columns of G (loop-invariant subscripts) can be
+    ignored — the array is treated as lower-dimensional;
+  * Example 7: for ``A[i, 2i, i+j]`` the dependent columns reduce to
+    ``G' = [[1,1],[0,1]]`` (columns 1 and 3), and ``L·G'`` specifies the
+    footprint completely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AffineRef, RectangularTile, footprint_size, footprint_size_exact
+from repro.core.footprint import footprint_det_size
+from repro.core.tiles import ParallelepipedTile
+from repro.sim import format_table
+
+
+def test_example1_zero_columns(benchmark):
+    """A(i3+2, 5, i2-1, 4): columns 2 and 4 are zero; dropping them
+    preserves the footprint size."""
+    g = [[0, 0, 0, 0], [0, 0, 1, 0], [1, 0, 0, 0]]
+    ref = AffineRef("A", g, [2, 5, -1, 4])
+
+    def run():
+        red = ref.drop_zero_columns()
+        assert red.array_dim == 2
+        tile = RectangularTile([4, 5, 6])
+        return footprint_size_exact(ref, tile), footprint_size_exact(red, tile), footprint_size(ref, tile)
+
+    full, reduced, closed = benchmark(run)
+    assert full == reduced == closed == 5 * 6  # i1 does not appear
+
+
+def test_example7_reduction(benchmark):
+    """A[i, 2i, i+j]: G' = [[1,1],[0,1]] (unimodular), footprint = tile."""
+    ref = AffineRef("A", [[1, 2, 1], [0, 0, 1]], [0, 0, 0])
+
+    def run():
+        red = ref.reduce_columns()
+        assert red.g.tolist() == [[1, 1], [0, 1]]
+        tile = RectangularTile([5, 7])
+        return (
+            footprint_size(ref, tile),
+            footprint_size_exact(ref, tile),
+            footprint_det_size(ref, tile),
+        )
+
+    closed, exact, det = benchmark(run)
+    assert closed == exact == 35
+    assert det == 35.0
+
+
+def test_reduction_preserves_cumulative(benchmark):
+    """Reduction is exact for whole uniformly intersecting classes (the
+    coset argument in AffineRef.reduce_columns)."""
+    from repro.core import cumulative_footprint_size_exact, partition_references
+
+    gc = [[1, 2, 1], [0, 0, 2]]
+    refs = [AffineRef("C", gc, [0, 0, -1]), AffineRef("C", gc, [0, 0, 1])]
+    (s,) = partition_references(refs)
+
+    def run():
+        rows = []
+        for sides in ([4, 4], [8, 6], [12, 10]):
+            t = RectangularTile(sides)
+            fast = cumulative_footprint_size_exact(s, t)
+            its = t.enumerate_iterations()
+            pts = set()
+            for r in refs:
+                pts |= {tuple(p) for p in r.map_points(its).tolist()}
+            rows.append((tuple(sides), fast, len(pts)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for sides, fast, brute in rows:
+        assert fast == brute
+    print()
+    print(format_table(["sides", "reduced-space count", "full-space count"], rows))
+
+
+def test_skewed_tile_reduction(benchmark):
+    """Example 7 reduction under a parallelepiped tile."""
+    ref = AffineRef("A", [[1, 2, 1], [0, 0, 1]], [0, 0, 0])
+    tile = ParallelepipedTile([[4, 4], [5, 0]])
+
+    def run():
+        return footprint_size(ref, tile), footprint_size_exact(ref, tile, closed=True)
+
+    closed, exact = benchmark(run)
+    assert closed == exact

@@ -1,0 +1,123 @@
+"""E16 — cache lines > 1 (Section 2.2's closing remark).
+
+"We assume that cache lines are of unit length.  The effect of larger
+cache lines can be included as suggested in [6]."  This experiment does
+the including: with ``line_size``-element lines along each array's last
+dimension,
+
+  * miss counts drop by up to the line factor for contiguous tiles;
+  * the optimal aspect ratio shifts toward tiles wide in the contiguous
+    dimension (the analytic line-footprint model and the simulator agree
+    on the crossover);
+  * false sharing appears when two processors write the same line.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AffineRef,
+    LoopNest,
+    RectangularTile,
+    cumulative_line_footprint_exact,
+    partition_references,
+)
+from repro.sim import Machine, MachineConfig, format_table, simulate_nest
+
+
+def stencil_nest(n=16):
+    return LoopNest.from_subscripts(
+        {"i": (1, n), "j": (1, n)},
+        [
+            ("A", [{"i": 1}, {"j": 1}], "write"),
+            ("B", [{"i": 1, "": -1}, {"j": 1}], "read"),
+            ("B", [{"i": 1, "": 1}, {"j": 1}], "read"),
+            ("B", [{"i": 1}, {"j": 1, "": -1}], "read"),
+            ("B", [{"i": 1}, {"j": 1, "": 1}], "read"),
+        ],
+    )
+
+
+def test_miss_reduction_with_lines(benchmark):
+    nest = stencil_nest()
+    tile = RectangularTile([4, 16])
+
+    def run():
+        rows = []
+        for ls in (1, 2, 4, 8):
+            r = simulate_nest(nest, tile, 4, line_size=ls)
+            rows.append([ls, r.total_misses])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    misses = [r[1] for r in rows]
+    assert misses == sorted(misses, reverse=True)
+    assert misses[0] / misses[-1] > 3  # close to the 8x line factor
+    print()
+    print(format_table(["line size", "total misses"], rows))
+
+
+def test_optimal_shape_shifts(benchmark):
+    """Unit lines: square-ish tiles win; long lines: j-wide tiles win."""
+    nest = stencil_nest(16)
+    tall = RectangularTile([16, 4])
+    wide = RectangularTile([4, 16])
+
+    def run():
+        out = {}
+        for ls in (1, 8):
+            out[ls] = (
+                simulate_nest(nest, tall, 4, line_size=ls).total_misses,
+                simulate_nest(nest, wide, 4, line_size=ls).total_misses,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    tall1, wide1 = out[1]
+    tall8, wide8 = out[8]
+    assert tall1 == wide1          # symmetric stencil: shape-neutral at ls=1
+    assert wide8 < tall8           # long lines favour contiguous-wide tiles
+    print()
+    print(format_table(
+        ["line size", "tall (16,4)", "wide (4,16)"],
+        [[1, tall1, wide1], [8, tall8, wide8]],
+    ))
+
+
+def test_analytic_model_tracks_simulator(benchmark):
+    nest = stencil_nest(16)
+    sets = partition_references(nest.accesses)
+    tile = RectangularTile([4, 16])
+
+    def run():
+        rows = []
+        for ls in (1, 2, 4):
+            pred = sum(
+                cumulative_line_footprint_exact(
+                    s, tile, ls, origin=nest.space.lower
+                )
+                for s in sets
+            )
+            meas = simulate_nest(nest, tile, 4, line_size=ls)
+            rows.append([ls, pred, meas.mean_misses_per_processor()])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for ls, pred, meas in rows:
+        assert pred == meas, ls
+    print()
+    print(format_table(["line size", "predicted/proc", "measured/proc"], rows))
+
+
+def test_false_sharing(benchmark):
+    """Cutting inside a line makes two processors write-share it."""
+    def run():
+        m = Machine(MachineConfig(processors=2, line_size=8))
+        # proc 0 writes columns 0-3, proc 1 columns 4-7: same lines.
+        for step in range(4):
+            m.access(0, "A", (0, step), "write")
+            m.access(1, "A", (0, 4 + step), "write")
+        return m.directory.stats.invalidations
+
+    inval = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert inval >= 7  # ping-pong nearly every access

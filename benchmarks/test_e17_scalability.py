@@ -1,0 +1,85 @@
+"""E17 — scalability figure: optimal vs naive partitions across P.
+
+A figure-style series the paper implies but never plots: per-processor
+misses as the machine grows, for the framework's tile vs naive rows.
+The optimal partition's advantage *grows* with P for the anisotropic
+Example 8 stencil (strips get thinner and thinner while blocks shrink in
+all dimensions), and the measured series tracks the Theorem-4 prediction
+at every point.
+"""
+
+import pytest
+
+from repro.core import RectangularTile, estimate_traffic, partition_references
+from repro.core.optimize import optimize_rectangular
+from repro.baselines.naive import rows_partition
+from repro.sim import format_table, simulate_nest
+
+from .paper_programs import example8
+
+N = 24
+PS = [2, 4, 8, 12, 24]
+
+
+def test_optimal_vs_rows_series(benchmark):
+    nest = example8(N)
+    sets = partition_references(nest.accesses)
+
+    def run():
+        rows = []
+        for p in PS:
+            opt = optimize_rectangular(sets, nest.space, p)
+            opt_sim = simulate_nest(nest, opt.tile, p)
+            naive_tile, _grid = rows_partition(nest.space, p)
+            naive_sim = simulate_nest(nest, naive_tile, p)
+            pred = estimate_traffic(sets, opt.tile, method="theorem4").cold_misses
+            rows.append(
+                [
+                    p,
+                    opt.grid,
+                    round(pred, 1),
+                    opt_sim.mean_misses_per_processor(),
+                    naive_sim.mean_misses_per_processor(),
+                    round(
+                        naive_sim.mean_misses_per_processor()
+                        / opt_sim.mean_misses_per_processor(),
+                        3,
+                    ),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The optimal tile never loses, and its advantage grows with P.
+    ratios = [r[5] for r in rows]
+    assert all(r >= 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    # Theorem-4 prediction is an upper-ish estimate tracking the measured
+    # curve (within 25% everywhere).
+    for p, grid, pred, meas, naive, ratio in rows:
+        assert abs(pred - meas) / meas < 0.25, p
+    print()
+    print(
+        format_table(
+            ["P", "grid", "Thm4 pred/proc", "optimal meas/proc", "rows meas/proc", "rows/optimal"],
+            rows,
+        )
+    )
+
+
+def test_total_traffic_grows_sublinearly_for_blocks(benchmark):
+    """Block partitions pay boundary ~ P^(1/3) per processor in 3-D; row
+    strips pay a constant huge boundary — total traffic diverges."""
+    nest = example8(N)
+    sets = partition_references(nest.accesses)
+
+    def run():
+        totals = {}
+        for p in (2, 8, 24):
+            opt = optimize_rectangular(sets, nest.space, p)
+            totals[p] = simulate_nest(nest, opt.tile, p).total_misses
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Total misses grow far slower than linearly in P (reuse preserved).
+    assert totals[24] < 3 * totals[2]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Data partitioning, alignment and placement (Section 4).
+
+The Alewife compiler's three distribution phases, demonstrated on a 2-D
+five-point stencil:
+
+  1. **loop partitioning** picks the tile shape;
+  2. **data partitioning + alignment** homes each array block on the
+     processor that runs the matching loop tile — misses become local
+     memory accesses instead of network traversals;
+  3. **placement** embeds the virtual processor grid into the physical
+     mesh — neighbouring tiles land on neighbouring nodes.
+
+Usage:  python examples/data_alignment.py [N] [P]
+"""
+
+import sys
+
+from repro import LoopPartitioner, compile_nest, simulate_nest
+from repro.codegen import (
+    aligned_address_map,
+    average_neighbor_distance,
+    embed_grid_random,
+    embed_grid_row_major,
+)
+from repro.sim import format_table
+
+SOURCE = """
+Doall (i, 1, N)
+  Doall (j, 1, N)
+    A[i,j] = B[i-1,j] + B[i+1,j] + B[i,j-1] + B[i,j+1]
+  EndDoall
+EndDoall
+"""
+
+
+def main(n: int = 16, p: int = 4) -> None:
+    print(f"# Five-point stencil, N={n}, P={p}")
+    nest = compile_nest(SOURCE, {"N": n})
+    part = LoopPartitioner(nest, p).partition()
+    print(f"loop tile {part.tile.sides.tolist()}, grid {part.grid}\n")
+
+    am = aligned_address_map(nest, part.tile, part.grid, p)
+    aligned = simulate_nest(nest, part.tile, p, address_map=am)
+    flat = simulate_nest(nest, part.tile, p)
+
+    def split(r):
+        return (
+            sum(q.local_misses for q in r.processors),
+            sum(q.remote_misses for q in r.processors),
+            sum(r.machine.memory_cost),
+            r.network_hops,
+        )
+
+    al, ar, ac, ah = split(aligned)
+    fl, fr, fc, fh = split(flat)
+    print(
+        format_table(
+            ["data layout", "local misses", "remote misses", "memory cost", "net hops"],
+            [
+                ["aligned blocks (Sec 4)", al, ar, ac, ah],
+                ["interleaved (naive)", fl, fr, fc, fh],
+            ],
+        )
+    )
+    print(f"\nalignment keeps {al / (al + ar):.0%} of misses local "
+          f"(naive: {fl / (fl + fr):.0%}); memory cost x{fc / ac:.1f} cheaper\n")
+
+    # Placement matters at scale: show it on a 4x4 virtual grid (16 nodes).
+    grid = (4, 4)
+    rm = average_neighbor_distance(grid, embed_grid_row_major(grid))
+    rnd = average_neighbor_distance(grid, embed_grid_random(grid, seed=7))
+    print(
+        format_table(
+            ["placement (4x4 grid on 4x4 mesh)", "avg hops between neighbouring tiles"],
+            [["row-major embedding", rm], ["random embedding", rnd]],
+        )
+    )
+    print("\nplacement is the smaller, second-order effect — exactly the "
+          "paper's characterisation.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

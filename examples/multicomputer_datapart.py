@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Data partitioning for a local-memory multicomputer (footnote 2).
+
+On a machine *without* coherent caches, data is never copied: every
+access goes to the element's home memory module.  The paper's footnote 2
+adapts the framework by replacing the cache spread ``â`` (max − min of
+offsets) with the cumulative spread ``a⁺ = Σ_r |a_r − median|``, because
+each non-median reference pays remote traffic for its own copy.
+
+This script shows:
+  1. â == a⁺ for the paper's examples (≤ 3 references per class), and
+     where they diverge (4+ spread-out copies);
+  2. the data-objective optimizer choosing a tile;
+  3. the cache-less simulator measuring remote traffic with the data
+     tiles aligned to the *median* reference vs an extreme one.
+
+Usage:  python examples/multicomputer_datapart.py [N] [P]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import compile_nest, simulate_nest
+from repro.codegen import aligned_address_map
+from repro.core import (
+    optimize_rectangular,
+    optimize_rectangular_data,
+    partition_references,
+)
+from repro.core.cumulative import spread_coefficients
+from repro.core.datapart import data_spread_coefficients, median_reference
+from repro.sim import format_table
+
+SOURCE = """
+Doall (i, 1, N)
+  Doall (j, 1, N)
+    A[i,j] = B[i,j] + B[i+1,j] + B[i+2,j] + B[i+9,j] + C[i,j-2] + C[i,j+2]
+  EndDoall
+EndDoall
+"""
+
+
+def main(n: int = 16, p: int = 4) -> None:
+    print(f"# Local-memory multicomputer data partitioning, N={n}, P={p}")
+    nest = compile_nest(SOURCE, {"N": n})
+    sets = partition_references(nest.accesses)
+
+    rows = []
+    for s in sets:
+        if s.size < 2:
+            continue
+        a_hat = spread_coefficients(s)
+        a_plus = data_spread_coefficients(s)
+        rows.append([s.array, s.size, a_hat.tolist(), a_plus.tolist()])
+    print(format_table(["class", "#refs", "cache spread â", "data spread a⁺"], rows))
+    print("\nB's four copies along i make a⁺ exceed â — a local-memory")
+    print("machine pays for the interior copies a cache would absorb.\n")
+
+    cache_opt = optimize_rectangular(sets, nest.space, p)
+    data_opt = optimize_rectangular_data(sets, nest.space, p)
+    print(f"cache-objective tile: {cache_opt.tile.sides.tolist()} grid {cache_opt.grid}")
+    print(f"data-objective tile:  {data_opt.tile.sides.tolist()} grid {data_opt.grid}")
+
+    bset = next(s for s in sets if s.array == "B")
+    med = median_reference(bset)
+    print(f"\nmedian B reference (data tiles align to it): {med!r}")
+
+    tile, grid = data_opt.tile, data_opt.grid
+    am = aligned_address_map(nest, tile, grid, p)
+    aligned = simulate_nest(nest, tile, p, cache_enabled=False, address_map=am)
+    flat = simulate_nest(nest, tile, p, cache_enabled=False)
+
+    def split(r):
+        return (
+            sum(q.local_misses for q in r.processors),
+            sum(q.remote_misses for q in r.processors),
+        )
+
+    al, ar = split(aligned)
+    fl, fr = split(flat)
+    print()
+    print(
+        format_table(
+            ["data layout (no caches)", "local accesses", "remote accesses"],
+            [["aligned to loop tiles", al, ar], ["interleaved", fl, fr]],
+        )
+    )
+    print(f"\nalignment keeps {al / (al + ar):.0%} of accesses local "
+          f"(interleaved: {fl / (fl + fr):.0%})")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,100 @@
+"""repro — reproduction of Agarwal, Kranz & Natarajan (ICPP 1993),
+*Automatic Partitioning of Parallel Loops for Cache-Coherent
+Multiprocessors*.
+
+Quickstart
+----------
+>>> from repro import compile_nest, LoopPartitioner, simulate_nest
+>>> nest = compile_nest('''
+... Doall (i, 1, N)
+...   Doall (j, 1, N)
+...     A[i,j] = B[i-1,j] + B[i+1,j]
+...   EndDoall
+... EndDoall
+... ''', {"N": 32})
+>>> result = LoopPartitioner(nest, processors=16).partition()
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's framework: affine references,
+  classification, footprints, cumulative footprints, tile optimization.
+* :mod:`repro.lattice` — exact integer-lattice machinery (HNF/SNF,
+  bounded lattices, point counting).
+* :mod:`repro.lang` — the Doall-language frontend.
+* :mod:`repro.codegen` — schedules, data alignment, mesh placement,
+  program execution.
+* :mod:`repro.sim` — the cache-coherent multiprocessor simulator.
+* :mod:`repro.baselines` — Abraham–Hudak, Ramanujam–Sadayappan, naive.
+"""
+
+from .core import (
+    AccessKind,
+    AffineRef,
+    ArrayAccess,
+    IterationSpace,
+    Loop,
+    LoopNest,
+    LoopPartitioner,
+    ParallelepipedTile,
+    PartitionResult,
+    RectangularTile,
+    Tiling,
+    UISet,
+    communication_free_partition,
+    cumulative_footprint_rect,
+    cumulative_footprint_size,
+    cumulative_footprint_size_exact,
+    estimate_traffic,
+    footprint_det_size,
+    footprint_size,
+    footprint_size_exact,
+    loop_footprint_size,
+    optimize_parallelepiped,
+    optimize_rectangular,
+    partition_references,
+    references_intersect,
+    spread_vector,
+    uniformly_generated,
+    uniformly_intersecting,
+)
+from .lang import compile_nest, parse_program
+from .sim import Machine, MachineConfig, simulate_nest
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AccessKind",
+    "AffineRef",
+    "ArrayAccess",
+    "IterationSpace",
+    "Loop",
+    "LoopNest",
+    "LoopPartitioner",
+    "ParallelepipedTile",
+    "PartitionResult",
+    "RectangularTile",
+    "Tiling",
+    "UISet",
+    "communication_free_partition",
+    "cumulative_footprint_rect",
+    "cumulative_footprint_size",
+    "cumulative_footprint_size_exact",
+    "estimate_traffic",
+    "footprint_det_size",
+    "footprint_size",
+    "footprint_size_exact",
+    "loop_footprint_size",
+    "optimize_parallelepiped",
+    "optimize_rectangular",
+    "partition_references",
+    "references_intersect",
+    "spread_vector",
+    "uniformly_generated",
+    "uniformly_intersecting",
+    "compile_nest",
+    "parse_program",
+    "Machine",
+    "MachineConfig",
+    "simulate_nest",
+]

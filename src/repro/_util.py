@@ -1,0 +1,304 @@
+"""Integer-matrix helpers shared across the ``repro`` packages.
+
+The paper works entirely with integer vectors and matrices (Section 2.1:
+"All our vectors and matrices have integer entries unless stated
+otherwise").  numpy's float linear algebra is unsafe for the exact lattice
+computations in Theorems 1-5, so this module centralises exact integer
+routines: validation/coercion, exact determinants by fraction-free Bareiss
+elimination, exact rank, gcds, and exact rational solves built on
+:class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import NonIntegerMatrixError, SingularMatrixError
+
+__all__ = [
+    "as_int_matrix",
+    "as_int_vector",
+    "int_det",
+    "int_rank",
+    "gcd_many",
+    "vector_gcd",
+    "is_integer_array",
+    "exact_solve",
+    "exact_inverse",
+    "matmul_int",
+    "minors_gcd",
+    "first_nonzero",
+    "iter_box",
+    "box_volume",
+]
+
+_INT_KINDS = ("i", "u")
+
+
+def is_integer_array(a: np.ndarray, *, tol: float = 0.0) -> bool:
+    """Return True if every entry of ``a`` is (within ``tol``) an integer."""
+    a = np.asarray(a)
+    if a.dtype.kind in _INT_KINDS:
+        return True
+    if a.dtype.kind != "f":
+        return False
+    return bool(np.all(np.abs(a - np.round(a)) <= tol))
+
+
+def as_int_matrix(m, *, name: str = "matrix", ndim: int = 2) -> np.ndarray:
+    """Coerce ``m`` to a C-contiguous ``int64`` array of dimension ``ndim``.
+
+    Raises
+    ------
+    NonIntegerMatrixError
+        If any entry is not an integer (floats are accepted only when they
+        are exactly integral).
+    """
+    a = np.asarray(m)
+    if a.ndim != ndim:
+        raise NonIntegerMatrixError(f"{name} must be {ndim}-dimensional, got shape {a.shape}")
+    if a.dtype.kind == "O":
+        # Could be python ints (possibly big); validate entrywise.
+        flat = a.ravel()
+        if not all(isinstance(x, (int, np.integer)) for x in flat):
+            raise NonIntegerMatrixError(f"{name} has non-integer entries")
+        return np.ascontiguousarray(a.astype(np.int64))
+    if not is_integer_array(a):
+        raise NonIntegerMatrixError(f"{name} has non-integer entries: {a!r}")
+    return np.ascontiguousarray(np.round(a).astype(np.int64))
+
+
+def as_int_vector(v, *, name: str = "vector") -> np.ndarray:
+    """Coerce ``v`` to a 1-D ``int64`` array (see :func:`as_int_matrix`)."""
+    return as_int_matrix(v, name=name, ndim=1)
+
+
+def int_det(m) -> int:
+    """Exact determinant of a square integer matrix.
+
+    Uses fraction-free Bareiss elimination with Python ints, so there is no
+    overflow for any input size (unlike ``numpy.linalg.det``).
+    """
+    a = as_int_matrix(m, name="det argument")
+    n, ncols = a.shape
+    if n != ncols:
+        raise SingularMatrixError(f"determinant requires a square matrix, got {a.shape}")
+    if n == 0:
+        return 1
+    # Work on a python-int list-of-lists: Bareiss stays exact.
+    rows = [[int(x) for x in row] for row in a]
+    sign = 1
+    prev = 1
+    for k in range(n - 1):
+        if rows[k][k] == 0:
+            # pivot search
+            for r in range(k + 1, n):
+                if rows[r][k] != 0:
+                    rows[k], rows[r] = rows[r], rows[k]
+                    sign = -sign
+                    break
+            else:
+                return 0
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                rows[i][j] = (rows[i][j] * rows[k][k] - rows[i][k] * rows[k][j]) // prev
+            rows[i][k] = 0
+        prev = rows[k][k]
+    return sign * rows[n - 1][n - 1]
+
+
+def int_rank(m) -> int:
+    """Exact rank of an integer matrix (fraction-free Gaussian elimination)."""
+    a = as_int_matrix(m, name="rank argument")
+    rows = [[Fraction(int(x)) for x in row] for row in a]
+    nr = len(rows)
+    nc = a.shape[1]
+    rank = 0
+    col = 0
+    while rank < nr and col < nc:
+        pivot_row = next((r for r in range(rank, nr) if rows[r][col] != 0), None)
+        if pivot_row is None:
+            col += 1
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][col]
+        for r in range(rank + 1, nr):
+            if rows[r][col] != 0:
+                factor = rows[r][col] / pivot
+                rows[r] = [rows[r][c] - factor * rows[rank][c] for c in range(nc)]
+        rank += 1
+        col += 1
+    return rank
+
+
+def gcd_many(values: Iterable[int]) -> int:
+    """gcd of an iterable of ints; gcd of the empty set is 0."""
+    g = 0
+    for v in values:
+        g = math.gcd(g, int(v))
+        if g == 1:
+            return 1
+    return g
+
+
+def vector_gcd(v) -> int:
+    """gcd of the components of an integer vector (0 for the zero vector)."""
+    return gcd_many(int(x) for x in np.asarray(v).ravel())
+
+
+def exact_solve(a, b) -> list[Fraction] | None:
+    """Solve ``x · a = b`` exactly over the rationals for row-vector ``x``.
+
+    ``a`` is an ``(m, n)`` integer matrix, ``b`` a length-``n`` integer
+    vector.  Returns one rational solution as a list of ``Fraction`` of
+    length ``m``, or ``None`` when the system is inconsistent.  When the
+    system is underdetermined an arbitrary particular solution (free
+    variables = 0) is returned.
+    """
+    a = as_int_matrix(a, name="a")
+    b = as_int_vector(b, name="b")
+    m, n = a.shape
+    if b.shape[0] != n:
+        raise ValueError(f"shape mismatch: a is {a.shape}, b has length {b.shape[0]}")
+    # x·a = b  <=>  aᵀ·xᵀ = bᵀ: do rational Gaussian elimination on [aᵀ | b].
+    aug = [[Fraction(int(a[r][c])) for r in range(m)] + [Fraction(int(b[c]))] for c in range(n)]
+    nrows = n
+    ncols = m
+    pivots: list[tuple[int, int]] = []
+    row = 0
+    for col in range(ncols):
+        pr = next((r for r in range(row, nrows) if aug[r][col] != 0), None)
+        if pr is None:
+            continue
+        aug[row], aug[pr] = aug[pr], aug[row]
+        pv = aug[row][col]
+        aug[row] = [x / pv for x in aug[row]]
+        for r in range(nrows):
+            if r != row and aug[r][col] != 0:
+                f = aug[r][col]
+                aug[r] = [aug[r][c] - f * aug[row][c] for c in range(ncols + 1)]
+        pivots.append((row, col))
+        row += 1
+        if row == nrows:
+            break
+    # Inconsistency: a zero row with nonzero rhs.
+    for r in range(row, nrows):
+        if all(aug[r][c] == 0 for c in range(ncols)) and aug[r][ncols] != 0:
+            return None
+    x = [Fraction(0)] * ncols
+    for r, c in pivots:
+        x[c] = aug[r][ncols]
+    return x
+
+
+def exact_inverse(m) -> list[list[Fraction]]:
+    """Exact rational inverse of a square integer matrix.
+
+    Raises :class:`SingularMatrixError` when singular.
+    """
+    a = as_int_matrix(m, name="inverse argument")
+    n, nc = a.shape
+    if n != nc:
+        raise SingularMatrixError(f"inverse requires a square matrix, got {a.shape}")
+    aug = [[Fraction(int(a[r][c])) for c in range(n)] + [Fraction(int(r == c)) for c in range(n)] for r in range(n)]
+    for col in range(n):
+        pr = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pr is None:
+            raise SingularMatrixError("matrix is singular")
+        aug[col], aug[pr] = aug[pr], aug[col]
+        pv = aug[col][col]
+        aug[col] = [x / pv for x in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                f = aug[r][col]
+                aug[r] = [aug[r][c] - f * aug[col][c] for c in range(2 * n)]
+    return [row[n:] for row in aug]
+
+
+def matmul_int(a, b) -> np.ndarray:
+    """Integer matrix product with object-dtype fallback for huge entries."""
+    a = as_int_matrix(a, name="a")
+    b = as_int_matrix(b, name="b")
+    return a @ b
+
+
+def minors_gcd(m, order: int) -> int:
+    """gcd of all ``order × order`` minors of an integer matrix.
+
+    Used in Lemma 2 (the mapping is onto iff the columns are independent and
+    the gcd of the maximal-order subdeterminants is 1) and to decide whether
+    the lattice generated by the rows of ``G`` is all of Z^d.
+    """
+    from itertools import combinations
+
+    a = as_int_matrix(m, name="minors argument")
+    nr, nc = a.shape
+    if order <= 0 or order > min(nr, nc):
+        raise ValueError(f"minor order {order} out of range for shape {a.shape}")
+    g = 0
+    for rows in combinations(range(nr), order):
+        sub_rows = a[list(rows), :]
+        for cols in combinations(range(nc), order):
+            g = math.gcd(g, abs(int_det(sub_rows[:, list(cols)])))
+            if g == 1:
+                return 1
+    return g
+
+
+def first_nonzero(v: Sequence[int]) -> int | None:
+    """Index of the first nonzero entry of ``v`` or ``None`` if all zero."""
+    for i, x in enumerate(v):
+        if x != 0:
+            return i
+    return None
+
+
+def iter_box(lo, hi):
+    """Yield integer points of the axis-aligned box ``lo <= x <= hi``.
+
+    ``lo``/``hi`` are inclusive integer bounds per dimension.  Points are
+    yielded as tuples in lexicographic order.  Prefer
+    :func:`box_points_array` for bulk numpy work.
+    """
+    lo = as_int_vector(lo, name="lo")
+    hi = as_int_vector(hi, name="hi")
+    if lo.shape != hi.shape:
+        raise ValueError("lo and hi must have the same length")
+    import itertools
+
+    ranges = [range(int(a), int(b) + 1) for a, b in zip(lo, hi)]
+    return itertools.product(*ranges)
+
+
+def box_volume(lo, hi) -> int:
+    """Number of integer points of the box ``lo <= x <= hi`` (0 if empty)."""
+    lo = as_int_vector(lo, name="lo")
+    hi = as_int_vector(hi, name="hi")
+    if np.any(hi < lo):
+        return 0
+    return int(np.prod((hi - lo + 1).astype(object)))
+
+
+def box_points_array(lo, hi) -> np.ndarray:
+    """All integer points of the box as an ``(N, l)`` int64 array.
+
+    Vectorised via meshgrid; raises ``MemoryError``-avoiding ValueError when
+    the box holds more than 50 million points.
+    """
+    lo = as_int_vector(lo, name="lo")
+    hi = as_int_vector(hi, name="hi")
+    n = box_volume(lo, hi)
+    if n == 0:
+        return np.empty((0, lo.shape[0]), dtype=np.int64)
+    if n > 50_000_000:
+        raise ValueError(f"box with {n} points is too large to enumerate")
+    axes = [np.arange(int(a), int(b) + 1, dtype=np.int64) for a, b in zip(lo, hi)]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+__all__.append("box_points_array")

@@ -1,0 +1,32 @@
+"""Baseline partitioning algorithms the paper compares against (S11).
+
+* :mod:`repro.baselines.abraham_hudak` — Abraham & Hudak's rectangular
+  partitioning for caches (TPDS 1991): single array, subscripts
+  ``index + constant`` (``G = I``).  Example 8 shows the framework
+  reproducing its answers.
+* :mod:`repro.baselines.ramanujam_sadayappan` — Ramanujam & Sadayappan's
+  communication-free hyperplane partitioning (TPDS 1991): finds
+  iteration/data hyperplanes with zero cross-tile traffic when they
+  exist, and reports nonexistence otherwise (Examples 2 and 10).
+* :mod:`repro.baselines.naive` — rows / columns / square blocks, the
+  strawman partitions of Figure 3.
+"""
+
+from .abraham_hudak import abraham_hudak_partition, AbrahamHudakResult
+from .ramanujam_sadayappan import (
+    communication_free_hyperplanes,
+    data_hyperplane,
+    RSResult,
+)
+from .naive import rows_partition, cols_partition, square_partition
+
+__all__ = [
+    "abraham_hudak_partition",
+    "AbrahamHudakResult",
+    "communication_free_hyperplanes",
+    "data_hyperplane",
+    "RSResult",
+    "rows_partition",
+    "cols_partition",
+    "square_partition",
+]

@@ -1,0 +1,70 @@
+"""Naive partitions: rows, columns, square-ish blocks (Figure 3's shapes).
+
+These are the strawmen every example measures against; they also seed
+sweeps in the benchmarks (aspect-ratio series for the figures).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.loopnest import IterationSpace
+from ..core.tiles import RectangularTile
+from ..exceptions import PartitionError
+
+__all__ = ["rows_partition", "cols_partition", "square_partition", "strip_partition"]
+
+
+def strip_partition(space: IterationSpace, processors: int, dim: int) -> tuple[RectangularTile, tuple[int, ...]]:
+    """Cut only along dimension ``dim`` into ``P`` strips."""
+    if not 0 <= dim < space.depth:
+        raise PartitionError(f"dimension {dim} out of range")
+    ext = space.extents
+    if processors > ext[dim]:
+        raise PartitionError(
+            f"cannot cut dimension of extent {ext[dim]} into {processors} strips"
+        )
+    sides = [int(e) for e in ext]
+    sides[dim] = -(-int(ext[dim]) // processors)
+    grid = [1] * space.depth
+    grid[dim] = processors
+    return RectangularTile(sides), tuple(grid)
+
+
+def rows_partition(space: IterationSpace, processors: int) -> tuple[RectangularTile, tuple[int, ...]]:
+    """Strips along the outermost dimension (each tile = bundle of rows)."""
+    return strip_partition(space, processors, 0)
+
+
+def cols_partition(space: IterationSpace, processors: int) -> tuple[RectangularTile, tuple[int, ...]]:
+    """Strips along the innermost dimension."""
+    return strip_partition(space, processors, space.depth - 1)
+
+
+def square_partition(space: IterationSpace, processors: int) -> tuple[RectangularTile, tuple[int, ...]]:
+    """The most-square feasible processor grid (blocks, Figure 3b).
+
+    Chooses the grid factorisation minimising the spread of tile side
+    lengths (log-ratio distance from a perfect cube).
+    """
+    from ..core.optimize import factorizations
+
+    ext = space.extents
+    best_key = None
+    best = None
+    for grid in factorizations(processors, space.depth):
+        if any(p > n for p, n in zip(grid, ext)):
+            continue
+        sides = [-(-int(n) // int(p)) for n, p in zip(ext, grid)]
+        key = (max(sides) / min(sides), tuple(grid))
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (tuple(grid), sides)
+    if best is None:
+        raise PartitionError(
+            f"no feasible grid for P={processors} on extents {ext.tolist()}"
+        )
+    grid, sides = best
+    return RectangularTile(sides), grid

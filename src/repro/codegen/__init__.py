@@ -1,0 +1,44 @@
+"""Code generation, data partitioning, alignment and placement (S9).
+
+The three distribution analyses of Section 4:
+
+* **Loop partitioning** → :mod:`repro.codegen.schedule` turns a chosen
+  tile + processor grid into concrete per-processor loop bounds.
+* **Data partitioning and alignment** → :mod:`repro.codegen.align` cuts
+  each array with the same aspect ratio as the loop tiles and homes each
+  data tile on the processor running the corresponding loop tile.
+* **Placement** → :mod:`repro.codegen.placement` embeds the virtual
+  processor grid into the physical mesh.
+
+:mod:`repro.codegen.emit` renders per-processor pseudo-code (the paper's
+"easy to produce efficient code when the tile boundaries are simple
+expressions") and — via the retained RHS expression trees — actually
+*executes* programs sequentially or tile-parallel over numpy arrays, so
+tests can verify that partitioned execution computes the same values.
+"""
+
+from .schedule import (
+    TileSchedule,
+    blocked_iteration_order,
+    processor_bounds,
+    subdivide_for_cache,
+)
+from .emit import emit_pseudocode, execute_sequential, execute_partitioned, allocate_arrays
+from .align import aligned_address_map, array_extents
+from .placement import embed_grid_row_major, embed_grid_random, average_neighbor_distance
+
+__all__ = [
+    "TileSchedule",
+    "processor_bounds",
+    "subdivide_for_cache",
+    "blocked_iteration_order",
+    "emit_pseudocode",
+    "execute_sequential",
+    "execute_partitioned",
+    "allocate_arrays",
+    "aligned_address_map",
+    "array_extents",
+    "embed_grid_row_major",
+    "embed_grid_random",
+    "average_neighbor_distance",
+]

@@ -1,0 +1,326 @@
+"""Pseudo-code emission and real execution of Doall programs.
+
+Two consumers:
+
+* :func:`emit_pseudocode` renders the per-processor SPMD loop nest as
+  text — the shape of what the Alewife compiler's sequential code
+  generator receives ("code for sequential threads with explicit
+  synchronization").
+* :func:`execute_sequential` / :func:`execute_partitioned` interpret the
+  program over numpy arrays, the latter tile-by-tile under a
+  :class:`~repro.codegen.schedule.TileSchedule`.  Because every
+  ``Doall`` body is, by assumption, race-free up to the sync accumulates
+  (which are associative adds), the two must produce identical arrays —
+  the codegen correctness test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import LoweringError
+from ..lang.ast_nodes import (
+    AffineExpr,
+    Assign,
+    BinOp,
+    Const,
+    LoopNode,
+    Neg,
+    RefNode,
+    Scalar,
+)
+from .schedule import TileSchedule
+
+__all__ = [
+    "emit_pseudocode",
+    "execute_sequential",
+    "execute_partitioned",
+    "allocate_arrays",
+]
+
+
+# ---------------------------------------------------------------------------
+# Program structure helpers
+# ---------------------------------------------------------------------------
+
+def _flatten(node: LoopNode):
+    """(sequential loops, parallel loops, statements) of a perfect nest."""
+    seq, par, stmts = [], [], []
+
+    def walk(n: LoopNode) -> None:
+        (seq if n.kind == "doseq" else par).append(n)
+        for b in n.body:
+            if isinstance(b, LoopNode):
+                walk(b)
+            else:
+                stmts.append(b)
+
+    walk(node)
+    return seq, par, stmts
+
+
+def _affine_str(e: AffineExpr) -> str:
+    parts = []
+    for v, c in e.coeffs:
+        if c == 1:
+            parts.append(v)
+        elif c == -1:
+            parts.append(f"-{v}")
+        else:
+            parts.append(f"{c}*{v}")
+    if e.const or not parts:
+        parts.append(str(e.const))
+    s = parts[0]
+    for p in parts[1:]:
+        s += p if p.startswith("-") else "+" + p
+    return s
+
+
+def _rhs_str(expr) -> str:
+    if isinstance(expr, RefNode):
+        subs = ",".join(_affine_str(s) for s in expr.subscripts)
+        return ("l$" if expr.sync else "") + f"{expr.array}[{subs}]"
+    if isinstance(expr, BinOp):
+        return f"({_rhs_str(expr.left)} {expr.op} {_rhs_str(expr.right)})"
+    if isinstance(expr, Neg):
+        return f"(-{_rhs_str(expr.operand)})"
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Scalar):
+        return expr.name
+    raise LoweringError(f"unknown RHS node {expr!r}")
+
+
+def emit_pseudocode(
+    node: LoopNode,
+    schedule: TileSchedule,
+    bindings: dict[str, int] | None = None,
+    *,
+    processors: list[int] | None = None,
+) -> str:
+    """Per-processor SPMD pseudo-code with concrete tile bounds.
+
+    One block per processor (default: all), each a plain sequential nest
+    over its tile's box, mirroring the closed-form bounds of
+    :func:`~repro.codegen.schedule.processor_bounds`.
+    """
+    seq, par, stmts = _flatten(node)
+    procs = processors if processors is not None else list(range(schedule.processors))
+    out = []
+    for p in procs:
+        out.append(f"// processor {p}")
+        indent = 0
+        for sl in seq:
+            out.append("  " * indent + f"for {sl.index} = {_affine_str(sl.lower)} "
+                       f"to {_affine_str(sl.upper)}  // Doseq")
+            indent += 1
+        b = schedule.bounds(p)
+        if b is None:
+            out.append("  " * indent + "// empty tile")
+            out.append("")
+            continue
+        for loop, (lo, hi) in zip(par, b):
+            out.append("  " * indent + f"for {loop.index} = {lo} to {hi}")
+            indent += 1
+        for st in stmts:
+            out.append("  " * indent + f"{_rhs_str(st.lhs)} = {_rhs_str(st.rhs)}")
+        out.append("")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Interpretation over numpy arrays
+# ---------------------------------------------------------------------------
+
+def array_index_ranges(node: LoopNode, bindings: dict[str, int]):
+    """Per-array (min, max) subscript values over the whole iteration space.
+
+    Used to size backing arrays: the interpreter stores arrays as numpy
+    with an origin shift so negative/offset subscripts work.
+    """
+    seq, par, stmts = _flatten(node)
+    env_lo: dict[str, int] = dict(bindings)
+    env_hi: dict[str, int] = dict(bindings)
+    for loop in seq + par:
+        env_lo[loop.index] = loop.lower.evaluate(bindings)
+        env_hi[loop.index] = loop.upper.evaluate(bindings)
+    ranges: dict[str, list[tuple[int, int]]] = {}
+    refs: list[RefNode] = []
+    for st in stmts:
+        refs.append(st.lhs)
+        refs.extend(st.rhs_refs)
+    for ref in refs:
+        dims = ranges.setdefault(
+            ref.array, [(np.iinfo(np.int64).max, np.iinfo(np.int64).min)] * len(ref.subscripts)
+        )
+        if len(dims) != len(ref.subscripts):
+            raise LoweringError(f"array {ref.array} used with inconsistent rank")
+        for k, sub in enumerate(ref.subscripts):
+            # Affine => extremes at interval endpoints per variable.
+            lo = hi = sub.const
+            for v, c in sub.coeffs:
+                if v not in env_lo:
+                    raise LoweringError(f"unbound symbol {v!r}")
+                a, b = c * env_lo[v], c * env_hi[v]
+                lo += min(a, b)
+                hi += max(a, b)
+            cur = dims[k]
+            dims[k] = (min(cur[0], lo), max(cur[1], hi))
+    return ranges
+
+
+def allocate_arrays(
+    node: LoopNode, bindings: dict[str, int], *, fill: str = "index"
+) -> dict[str, "OffsetArray"]:
+    """Allocate an :class:`OffsetArray` per array, sized to the program.
+
+    ``fill='index'`` initialises element ``x`` at coords ``c`` to a
+    deterministic value derived from ``c`` (so reads of never-written
+    elements are reproducible); ``'zeros'`` zero-fills.
+    """
+    arrays = {}
+    for name, dims in array_index_ranges(node, bindings).items():
+        lower = tuple(lo for lo, _ in dims)
+        shape = tuple(hi - lo + 1 for lo, hi in dims)
+        arr = OffsetArray(name, lower, shape)
+        if fill == "index":
+            arr.fill_with_coordinates()
+        arrays[name] = arr
+    return arrays
+
+
+class OffsetArray:
+    """A numpy array indexed with the program's (possibly offset) coords."""
+
+    def __init__(self, name: str, lower: tuple[int, ...], shape: tuple[int, ...]):
+        self.name = name
+        self.lower = np.asarray(lower, dtype=np.int64)
+        self.data = np.zeros(shape, dtype=np.float64)
+
+    def fill_with_coordinates(self) -> None:
+        """Deterministic pseudo-data: a small affine hash of the coords."""
+        grids = np.meshgrid(
+            *[np.arange(lo, lo + s) for lo, s in zip(self.lower, self.data.shape)],
+            indexing="ij",
+        )
+        total = np.zeros(self.data.shape)
+        for k, g in enumerate(grids):
+            total += (k + 1) * 0.0137 * g
+        self.data = np.sin(total) + 0.5
+
+    def _key(self, coords):
+        idx = tuple(int(c - lo) for c, lo in zip(coords, self.lower))
+        return idx
+
+    def get(self, coords) -> float:
+        return float(self.data[self._key(coords)])
+
+    def set(self, coords, value: float) -> None:
+        self.data[self._key(coords)] = value
+
+    def copy(self) -> "OffsetArray":
+        out = OffsetArray(self.name, tuple(self.lower), self.data.shape)
+        out.data = self.data.copy()
+        return out
+
+
+def _eval_rhs(expr, env: dict[str, int], arrays: dict[str, OffsetArray]) -> float:
+    if isinstance(expr, RefNode):
+        coords = tuple(s.evaluate(env) for s in expr.subscripts)
+        return arrays[expr.array].get(coords)
+    if isinstance(expr, BinOp):
+        a = _eval_rhs(expr.left, env, arrays)
+        b = _eval_rhs(expr.right, env, arrays)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "/":
+            return a / b
+        raise LoweringError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Neg):
+        return -_eval_rhs(expr.operand, env, arrays)
+    if isinstance(expr, Const):
+        return float(expr.value)
+    if isinstance(expr, Scalar):
+        if expr.name not in env:
+            raise LoweringError(f"unbound scalar {expr.name!r}")
+        return float(env[expr.name])
+    raise LoweringError(f"unknown RHS node {expr!r}")
+
+
+def _run_block(stmts, loops_lo_hi, names, env, arrays) -> None:
+    """Execute the statement list over a box of iterations (recursive)."""
+    if not loops_lo_hi:
+        for st in stmts:
+            value = _eval_rhs(st.rhs, env, arrays)
+            coords = tuple(s.evaluate(env) for s in st.lhs.subscripts)
+            arrays[st.lhs.array].set(coords, value)
+        return
+    (lo, hi), rest = loops_lo_hi[0], loops_lo_hi[1:]
+    name = names[0]
+    for v in range(lo, hi + 1):
+        env[name] = v
+        _run_block(stmts, rest, names[1:], env, arrays)
+    del env[name]
+
+
+def execute_sequential(
+    node: LoopNode, bindings: dict[str, int], arrays: dict[str, OffsetArray] | None = None
+) -> dict[str, OffsetArray]:
+    """Reference interpreter: run the nest in plain loop order."""
+    seq, par, stmts = _flatten(node)
+    if arrays is None:
+        arrays = allocate_arrays(node, bindings)
+    env = dict(bindings)
+    loops = seq + par
+    bounds = [(l.lower.evaluate(bindings), l.upper.evaluate(bindings)) for l in loops]
+    _run_block(stmts, bounds, [l.index for l in loops], env, arrays)
+    return arrays
+
+
+def execute_partitioned(
+    node: LoopNode,
+    bindings: dict[str, int],
+    schedule: TileSchedule,
+    arrays: dict[str, OffsetArray] | None = None,
+) -> dict[str, OffsetArray]:
+    """Run the nest tile-by-tile (processors in order, tiles as scheduled).
+
+    Must match :func:`execute_sequential` for any legal ``Doall`` program
+    — that is the test.
+    """
+    seq, par, stmts = _flatten(node)
+    if arrays is None:
+        arrays = allocate_arrays(node, bindings)
+    env = dict(bindings)
+    seq_bounds = [(l.lower.evaluate(bindings), l.upper.evaluate(bindings)) for l in seq]
+
+    def run_parallel_part() -> None:
+        for p in range(schedule.processors):
+            its = schedule.iterations(p)
+            names = [l.index for l in par]
+            for row in its:
+                for name, v in zip(names, row):
+                    env[name] = int(v)
+                for st in stmts:
+                    value = _eval_rhs(st.rhs, env, arrays)
+                    coords = tuple(s.evaluate(env) for s in st.lhs.subscripts)
+                    arrays[st.lhs.array].set(coords, value)
+            for name in names:
+                env.pop(name, None)
+
+    def run_seq(level: int) -> None:
+        if level == len(seq):
+            run_parallel_part()
+            return
+        lo, hi = seq_bounds[level]
+        for v in range(lo, hi + 1):
+            env[seq[level].index] = v
+            run_seq(level + 1)
+        del env[seq[level].index]
+
+    run_seq(0)
+    return arrays

@@ -1,0 +1,208 @@
+"""Per-processor iteration schedules from a tile + processor grid.
+
+For rectangular tiles the schedule is closed-form: processor with grid
+coordinate ``(p_1..p_l)`` runs the box::
+
+    lo_k = space.lower_k + p_k * sides_k
+    hi_k = min(lo_k + sides_k - 1, space.upper_k)
+
+— exactly the "simple expressions" the paper wants for efficient code.
+Boundary tiles clamp (tiles are equal "except at the boundaries").
+
+General parallelepiped tiles fall back to explicit iteration lists from
+:class:`~repro.core.tiles.Tiling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.loopnest import IterationSpace
+from ..core.tiles import ParallelepipedTile, RectangularTile, Tiling
+from ..exceptions import PartitionError
+
+__all__ = [
+    "TileSchedule",
+    "processor_bounds",
+    "subdivide_for_cache",
+    "blocked_iteration_order",
+]
+
+
+def processor_bounds(
+    space: IterationSpace, sides, grid, coord
+) -> list[tuple[int, int]] | None:
+    """Loop bounds for the processor at grid coordinate ``coord``.
+
+    Returns ``None`` when the coordinate's box is empty (can happen for
+    over-provisioned grids at the boundary).
+    """
+    sides = np.asarray(sides, dtype=np.int64)
+    coord = np.asarray(coord, dtype=np.int64)
+    lo = space.lower + coord * sides
+    hi = np.minimum(lo + sides - 1, space.upper)
+    if np.any(lo > space.upper):
+        return None
+    return [(int(a), int(b)) for a, b in zip(lo, hi)]
+
+
+@dataclass(frozen=True)
+class TileSchedule:
+    """Assignment of iterations to ``P`` processors.
+
+    For rectangular tiles with an explicit ``grid``, processors are
+    numbered row-major over the grid and bounds are closed-form; otherwise
+    tiles are dealt lexicographically (matching
+    :func:`repro.sim.trace.assign_tiles_to_processors`).
+    """
+
+    space: IterationSpace
+    tile: ParallelepipedTile
+    processors: int
+    grid: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if self.processors < 1:
+            raise PartitionError("need at least one processor")
+        if self.grid is not None:
+            prod = 1
+            for g in self.grid:
+                prod *= g
+            if prod != self.processors:
+                raise PartitionError(
+                    f"grid {self.grid} does not multiply to P={self.processors}"
+                )
+            if not isinstance(self.tile, RectangularTile):
+                raise PartitionError("grids apply to rectangular tiles only")
+
+    # ------------------------------------------------------------------
+    def grid_coord(self, proc: int) -> tuple[int, ...]:
+        """Row-major grid coordinate of a processor."""
+        if self.grid is None:
+            raise PartitionError("schedule has no processor grid")
+        coord = []
+        rem = proc
+        for g in reversed(self.grid):
+            coord.append(rem % g)
+            rem //= g
+        return tuple(reversed(coord))
+
+    def proc_of_coord(self, coord) -> int:
+        if self.grid is None:
+            raise PartitionError("schedule has no processor grid")
+        p = 0
+        for c, g in zip(coord, self.grid):
+            p = p * g + int(c)
+        return p
+
+    def bounds(self, proc: int) -> list[tuple[int, int]] | None:
+        """Closed-form per-processor loop bounds (rectangular grids)."""
+        if self.grid is None or not isinstance(self.tile, RectangularTile):
+            raise PartitionError("closed-form bounds need a rectangular grid")
+        return processor_bounds(
+            self.space, self.tile.sides, self.grid, self.grid_coord(proc)
+        )
+
+    def iterations(self, proc: int) -> np.ndarray:
+        """Explicit ``(N, l)`` iteration array for one processor."""
+        if self.grid is not None and isinstance(self.tile, RectangularTile):
+            b = self.bounds(proc)
+            if b is None:
+                return np.empty((0, self.space.depth), dtype=np.int64)
+            from .._util import box_points_array
+
+            return box_points_array([x for x, _ in b], [y for _, y in b])
+        from ..sim.trace import assign_tiles_to_processors
+
+        tiling = Tiling(self.space, self.tile)
+        return assign_tiles_to_processors(tiling, self.processors)[proc]
+
+    def iteration_counts(self) -> list[int]:
+        """Iterations per processor (load-balance check)."""
+        return [int(self.iterations(p).shape[0]) for p in range(self.processors)]
+
+    def owner_of(self, iteration) -> int:
+        """Which processor runs a given iteration."""
+        it = np.asarray(iteration, dtype=np.int64)
+        if self.grid is not None and isinstance(self.tile, RectangularTile):
+            coord = (it - self.space.lower) // self.tile.sides
+            coord = np.minimum(coord, np.asarray(self.grid) - 1)
+            return self.proc_of_coord(coord)
+        from .._util import box_points_array
+
+        tiling = Tiling(self.space, self.tile)
+        all_idx = tiling.tile_indices(
+            box_points_array(self.space.lower, self.space.upper)
+        )
+        keys = sorted({tuple(int(x) for x in row) for row in all_idx})
+        key = tuple(int(x) for x in tiling.tile_indices(it[None, :])[0])
+        return keys.index(key) % self.processors
+
+
+def subdivide_for_cache(uisets_or_accesses, tile: RectangularTile, capacity: int) -> RectangularTile:
+    """Shrink a tile until its cumulative footprint fits a cache.
+
+    Section 2.2: "When caches are small, the optimal loop partition aspect
+    ratios do not change, rather, the size of each loop tile executed at
+    any given time on the processor must be adjusted so that the data fits
+    in the cache."  This helper performs that adjustment: repeatedly halve
+    the currently-largest side (preserving the aspect ratio as closely as
+    integer sides allow) until the exact cumulative footprint is at most
+    ``capacity``.
+
+    Returns the sub-tile; raises :class:`PartitionError` if even a 1-size
+    tile does not fit (capacity smaller than one iteration's data).
+    """
+    from ..core.classify import UISet, partition_references
+    from ..core.cumulative import cumulative_footprint_size_exact
+
+    items = list(uisets_or_accesses)
+    sets = (
+        items
+        if items and isinstance(items[0], UISet)
+        else partition_references(items)
+    )
+    if capacity < 1:
+        raise PartitionError(f"cache capacity must be >= 1, got {capacity}")
+    orig = [int(s) for s in tile.sides]
+    sides = list(orig)
+
+    def footprint(sds) -> int:
+        t = RectangularTile(sds)
+        return sum(cumulative_footprint_size_exact(s, t) for s in sets)
+
+    while footprint(sides) > capacity:
+        # Halve the side currently largest *relative to the original
+        # aspect ratio*, so the sub-tile keeps the optimizer's proportions
+        # as closely as integer sides allow.
+        candidates = [i for i in range(len(sides)) if sides[i] > 1]
+        if not candidates:
+            raise PartitionError(
+                f"footprint {footprint(sides)} of a unit tile exceeds "
+                f"cache capacity {capacity}"
+            )
+        k = max(candidates, key=lambda i: sides[i] / orig[i])
+        sides[k] = -(-sides[k] // 2)
+    return RectangularTile(sides)
+
+
+def blocked_iteration_order(iterations: np.ndarray, subtile: RectangularTile, origin=None) -> np.ndarray:
+    """Reorder a tile's iterations so each sub-tile completes before the
+    next begins (the execution order that realises
+    :func:`subdivide_for_cache`'s footprint bound on a finite cache).
+
+    ``iterations`` is an ``(N, l)`` array; the result is a permutation of
+    its rows, grouped by sub-tile index (lexicographic), iterations within
+    a sub-tile kept in their original relative order.
+    """
+    pts = np.atleast_2d(np.asarray(iterations, dtype=np.int64))
+    if pts.shape[0] == 0:
+        return pts
+    base = pts.min(axis=0) if origin is None else np.asarray(origin, dtype=np.int64)
+    idx = (pts - base) // subtile.sides
+    # lexsort sorts by the LAST key as primary: original position is the
+    # tie-break (stability), sub-tile coordinates the major keys.
+    order = np.lexsort((np.arange(pts.shape[0]),) + tuple(idx.T[::-1]))
+    return pts[order]

@@ -1,0 +1,498 @@
+"""Tile-shape optimization (Section 3.6).
+
+Minimise the cumulative footprint of one tile subject to the
+load-balancing constraint ``|det L| = V`` (``V`` = iteration-space volume
+divided by the processor count).
+
+Three solvers:
+
+* :func:`optimize_rectangular` — the closed-form Lagrange solution the
+  paper derives in Examples 8-10.  For rectangular tiles the objective is
+  ``Σ_i A_i · V / s_i`` with ``s_i`` the tile side in loop dimension ``i``
+  and ``A_i = Σ_classes u_i`` the summed spread coefficients (Theorem 4);
+  Lagrange multipliers give ``s_i ∝ A_i``.  The continuous optimum is then
+  *integerised* against a processor-grid factorisation, evaluating the
+  true Theorem-4 (or exact) cost for each candidate grid.
+* :func:`optimize_parallelepiped` — general hyperparallelepiped tiles via
+  constrained numerical minimisation of the Theorem 2 objective
+  (scipy SLSQP, multiple deterministic starts).  This is the path that
+  finds the skewed tiles of Examples 3/6.
+* :func:`communication_free_partition` — detects when hyperplane
+  directions exist that incur *zero* traffic (the Ramanujam & Sadayappan
+  case the framework subsumes): integer vectors orthogonal to every
+  data-sharing direction of every class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from ..exceptions import OptimizationError, SingularMatrixError
+from ..lattice.snf import integer_kernel_basis, solve_integer
+from .classify import UISet, partition_references
+from .cumulative import (
+    cumulative_footprint_rect,
+    cumulative_footprint_size,
+    cumulative_footprint_size_exact,
+    spread_coefficients,
+)
+from .loopnest import IterationSpace
+from .tiles import ParallelepipedTile, RectangularTile
+
+__all__ = [
+    "RectOptResult",
+    "sharing_directions",
+    "ParallelepipedOptResult",
+    "optimize_rectangular",
+    "optimize_parallelepiped",
+    "communication_free_partition",
+    "factorizations",
+    "rect_cost_coefficients",
+]
+
+
+def _as_uisets(accesses_or_sets) -> list[UISet]:
+    items = list(accesses_or_sets)
+    if items and isinstance(items[0], UISet):
+        return items
+    return partition_references(items)
+
+
+def rect_cost_coefficients(uisets, depth: int) -> np.ndarray:
+    """Per-loop-dimension traffic coefficients ``A_i = Σ_classes u_i``.
+
+    ``u`` are the Theorem-4 spread coefficients of each class.  Classes
+    whose spread is zero (single references, or coincident references)
+    contribute nothing — their footprint equals the tile volume, constant
+    under the load-balance constraint ("need not figure in the
+    optimization process", Example 8).
+
+    Raises :class:`OptimizationError` if some class has dependent rows
+    after column reduction (no Theorem-4 coefficients; use the numeric
+    parallelepiped path or exact search instead).
+    """
+    a = np.zeros(depth, dtype=float)
+    for s in _as_uisets(uisets):
+        if s.size == 1:
+            continue
+        if not np.any(s.spread()):
+            continue
+        try:
+            a += spread_coefficients(s)
+        except SingularMatrixError as e:
+            raise OptimizationError(
+                f"class {s!r} has no Theorem-4 coefficients: {e}"
+            ) from e
+    return a
+
+
+@dataclass(frozen=True)
+class RectOptResult:
+    """Outcome of rectangular tile optimization.
+
+    Attributes
+    ----------
+    tile:
+        The integerised tile (sides = iterations per dimension).
+    grid:
+        Processor counts per loop dimension (``Π grid = P``).
+    predicted_cost:
+        Cumulative footprint of ``tile`` under the scoring method used.
+    continuous_sides:
+        The un-integerised Lagrange optimum (``s_i ∝ A_i``).
+    coefficients:
+        The per-dimension traffic coefficients ``A_i``.
+    """
+
+    tile: RectangularTile
+    grid: tuple[int, ...]
+    predicted_cost: float
+    continuous_sides: np.ndarray
+    coefficients: np.ndarray
+
+
+def factorizations(p: int, l: int):
+    """Yield all ordered factorizations of ``p`` into ``l`` positive factors.
+
+    ``factorizations(12, 2)`` → (1,12), (2,6), (3,4), (4,3), (6,2), (12,1).
+    Deterministic ascending order in the first factor.
+    """
+    if l < 1 or p < 1:
+        raise ValueError("need p >= 1 and l >= 1")
+    if l == 1:
+        yield (p,)
+        return
+    for f in range(1, p + 1):
+        if p % f == 0:
+            for rest in factorizations(p // f, l - 1):
+                yield (f, *rest)
+
+
+def _continuous_lagrange(a: np.ndarray, extents: np.ndarray, volume: float) -> np.ndarray:
+    """Solve ``min Σ A_i V/s_i s.t. Π s_i = V, 1 <= s_i <= N_i``.
+
+    Interior solution is ``s_i ∝ A_i``; dimensions with ``A_i = 0`` are
+    communication-free and take their full extent first; bound-capped
+    dimensions are fixed iteratively and the rest re-solved.
+    """
+    l = len(a)
+    s = np.zeros(l, dtype=float)
+    free = list(range(l))
+    vol = float(volume)
+    # Communication-free dims: widen to the full extent (any leftover volume
+    # shortfall is absorbed by the remaining dims).
+    for i in sorted(free, key=lambda k: a[k]):
+        if a[i] == 0 and len(free) > 1:
+            s[i] = min(float(extents[i]), vol)
+            vol = max(vol / s[i], 1.0)
+            free.remove(i)
+    # Iteratively apply s_i ∝ A_i, capping at extents.
+    for _ in range(l + 1):
+        if not free:
+            break
+        aa = a[free]
+        # Π s = vol with s_i = t·A_i  =>  t = (vol / Π A_i)^(1/k)
+        t = (vol / float(np.prod(aa))) ** (1.0 / len(free))
+        cand = aa * t
+        capped = [i for i, c in zip(free, cand) if c > extents[i]]
+        floored = [i for i, c in zip(free, cand) if c < 1.0]
+        if not capped and not floored:
+            for i, c in zip(free, cand):
+                s[i] = c
+            break
+        for i in capped:
+            s[i] = float(extents[i])
+            vol /= s[i]
+            free.remove(i)
+        for i in floored:
+            if i in free:
+                s[i] = 1.0
+                free.remove(i)
+        vol = max(vol, 1.0)
+    else:  # pragma: no cover - loop always breaks within l+1 rounds
+        pass
+    for i in range(l):
+        if s[i] == 0:
+            s[i] = 1.0
+    return s
+
+
+def optimize_rectangular(
+    accesses_or_sets,
+    space: IterationSpace,
+    processors: int,
+    *,
+    scoring: str = "theorem4",
+) -> RectOptResult:
+    """Find the best rectangular tile for ``P`` processors (Examples 8-10).
+
+    1. Compute per-dimension coefficients ``A_i`` (Theorem 4 spreads).
+    2. Continuous Lagrange optimum ``s_i ∝ A_i`` at volume
+       ``V = |space| / P``.
+    3. Integerise: enumerate processor-grid factorisations ``Π p_i = P``,
+       score each candidate tile ``sides_i = ⌈N_i / p_i⌉`` with the real
+       cumulative-footprint model (``scoring``: ``'theorem4'`` or
+       ``'exact'``), and keep the cheapest.
+
+    The returned grid is exact load balancing when ``p_i | N_i``; boundary
+    tiles are smaller otherwise (paper: tiles equal "except at the
+    boundaries of the iteration space").
+    """
+    uisets = _as_uisets(accesses_or_sets)
+    l = space.depth
+    extents = space.extents.astype(float)
+    volume = float(space.volume) / float(processors)
+    if processors < 1 or processors > space.volume:
+        raise OptimizationError(
+            f"cannot split {space.volume} iterations over {processors} processors"
+        )
+    a = rect_cost_coefficients(uisets, l)
+    if not np.any(a):
+        # No partition-sensitive traffic at all: any load-balanced tile is
+        # optimal; pick the most compact grid.
+        a = np.ones(l)
+    cont = _continuous_lagrange(np.where(a > 0, a, 0.0), extents.astype(np.int64), volume)
+
+    def class_footprint(s: UISet, tile: RectangularTile) -> float:
+        if scoring == "exact":
+            return float(cumulative_footprint_size_exact(s, tile))
+        try:
+            return cumulative_footprint_rect(s, tile)
+        except SingularMatrixError:
+            return float(cumulative_footprint_size_exact(s, tile))
+
+    def score(tile: RectangularTile, grid: tuple[int, ...]) -> float:
+        """Per-tile footprint plus a write-sharing coherence penalty.
+
+        A class whose ``G`` has a nonzero integer kernel re-touches the
+        same element along kernel directions (e.g. matmul's ``C[i,j]``
+        along ``k``).  Cutting such a direction makes ``m`` tiles write
+        the same elements; each extra writer costs at least one
+        invalidation + refetch per element, so write classes pay
+        ``(m − 1) × footprint`` on top (Appendix A's "slightly more
+        expensive communication").  Footprints alone cannot distinguish
+        those grids — this term is what steers matmul to block tiles
+        that keep ``C`` private.
+        """
+        total = 0.0
+        for s in uisets:
+            fp = class_footprint(s, tile)
+            total += fp
+            ker = integer_kernel_basis(s.g)
+            if s.has_write() and ker.size:
+                m = 1
+                for k, p_k in enumerate(grid):
+                    if p_k > 1 and np.any(ker[:, k] != 0):
+                        m *= p_k
+                total += (m - 1) * fp
+        return total
+
+    best_key: tuple[float, float, tuple[int, ...]] | None = None
+    best_tile: RectangularTile | None = None
+    best_grid: tuple[int, ...] | None = None
+    ints = space.extents
+    for grid in factorizations(processors, l):
+        if any(p > n for p, n in zip(grid, ints)):
+            continue
+        sides = tuple(-(-int(n) // int(p)) for n, p in zip(ints, grid))
+        tile = RectangularTile(sides)
+        c = score(tile, grid)
+        # Deterministic tie-break: prefer grids closest to the continuous
+        # optimum (ratio distance), then lexicographic.
+        dist = sum(
+            abs(math.log(sd / cs)) for sd, cs in zip(sides, cont) if cs > 0
+        )
+        key = (c, dist, grid)
+        if best_key is None or key < best_key:
+            best_key, best_tile, best_grid = key, tile, grid
+    if best_key is None or best_tile is None or best_grid is None:
+        raise OptimizationError(
+            f"no feasible processor grid: P={processors}, extents={ints.tolist()}"
+        )
+    return RectOptResult(
+        tile=best_tile,
+        grid=best_grid,
+        predicted_cost=best_key[0],
+        continuous_sides=cont,
+        coefficients=a,
+    )
+
+
+@dataclass(frozen=True)
+class ParallelepipedOptResult:
+    """Outcome of general-tile optimization.
+
+    ``l_matrix`` is the continuous optimum; ``tile`` its integer rounding
+    (rows scaled to preserve volume approximately).  ``objective`` is the
+    Theorem 2 cumulative footprint at the continuous optimum.
+    """
+
+    l_matrix: np.ndarray
+    tile: ParallelepipedTile
+    objective: float
+    rectangular_objective: float
+    improvement: float = field(default=0.0)
+
+
+def _theorem2_objective(uisets: list[UISet], l_flat: np.ndarray, l_dim: int) -> float:
+    lm = l_flat.reshape(l_dim, l_dim)
+    tile_like = _FloatTile(lm)
+    total = 0.0
+    for s in uisets:
+        total += cumulative_footprint_size(s, tile_like)
+    return total
+
+
+class _FloatTile:
+    """Duck-typed tile carrying a float L for the continuous optimizer."""
+
+    def __init__(self, lm: np.ndarray):
+        self.l_matrix = lm
+
+
+def optimize_parallelepiped(
+    accesses_or_sets,
+    volume: float,
+    *,
+    depth: int | None = None,
+    extra_starts: int = 4,
+    seed: int = 0,
+    max_extents=None,
+) -> ParallelepipedOptResult:
+    """Minimise the Theorem 2 objective over hyperparallelepiped tiles.
+
+    Constrained minimisation of ``Σ_classes [|det LG| + Σ_i |det LG_{i→â}|]``
+    subject to ``det L = V`` (SLSQP).  Deterministic multi-start:
+
+    * the rectangular Lagrange optimum (diagonal L);
+    * for each class, a skew start whose first row is aligned with the
+      class spread direction mapped back to iteration space (the direction
+      that internalises the inter-reference reuse, cf. Example 3);
+    * ``extra_starts`` seeded random perturbations.
+
+    ``max_extents`` bounds each entry of ``L`` (tile edges cannot exceed
+    the iteration-space extents — without this, objectives like Example
+    3's improve without limit as the skew grows).  Defaults to
+    ``3·V^(1/l)`` per dimension.
+
+    Returns the best continuous ``L`` plus an integer rounding.
+    """
+    from scipy.optimize import NonlinearConstraint, minimize
+
+    uisets = _as_uisets(accesses_or_sets)
+    if depth is None:
+        depth = uisets[0].g.shape[0]
+    l = depth
+    v = float(volume)
+    if max_extents is None:
+        max_extents = np.full(l, 3.0 * v ** (1.0 / l))
+    else:
+        max_extents = np.asarray(max_extents, dtype=float)
+    var_bounds = [
+        (-float(max_extents[j]), float(max_extents[j]))
+        for _i in range(l)
+        for j in range(l)
+    ]
+
+    # Rectangular baseline for starts and for the reported improvement.
+    try:
+        a = rect_cost_coefficients(uisets, l)
+    except OptimizationError:
+        a = np.ones(l)
+    if not np.any(a):
+        a = np.ones(l)
+    side = (v / float(np.prod(a))) ** (1.0 / l)
+    diag_start = np.diag(a * side)
+    rect_obj = _theorem2_objective(uisets, diag_start.ravel(), l)
+
+    starts = [diag_start]
+    for s in uisets:
+        if s.size < 2 or not np.any(s.spread()):
+            continue
+        try:
+            u = spread_coefficients(s)
+        except SingularMatrixError:
+            continue
+        if not np.any(u):
+            continue
+        skew = diag_start.copy()
+        direction = u / max(np.linalg.norm(u), 1e-12)
+        norm0 = np.linalg.norm(skew[0])
+        skew[0] = direction * norm0
+        starts.append(skew)
+        # Also a strongly-skewed variant (long thin tile along the reuse
+        # direction).
+        skew2 = np.eye(l)
+        skew2[0] = direction * v ** (1.0 / l) * l
+        for j in range(1, l):
+            skew2[j, j] = (v / np.linalg.norm(skew2[0])) ** (1.0 / max(l - 1, 1))
+        starts.append(skew2)
+    rng = np.random.default_rng(seed)
+    for _ in range(extra_starts):
+        starts.append(diag_start + rng.normal(scale=0.3 * side, size=(l, l)))
+
+    det_con = NonlinearConstraint(
+        lambda x: np.linalg.det(x.reshape(l, l)), v, v
+    )
+    best_x = None
+    best_f = np.inf
+    for s0 in starts:
+        # Fix the determinant sign of the start.
+        if np.linalg.det(s0) < 0:
+            s0 = s0.copy()
+            s0[0] = -s0[0]
+        try:
+            res = minimize(
+                lambda x: _theorem2_objective(uisets, x, l),
+                np.clip(s0.ravel(), [b[0] for b in var_bounds], [b[1] for b in var_bounds]),
+                method="SLSQP",
+                constraints=[det_con],
+                bounds=var_bounds,
+                options={"maxiter": 300, "ftol": 1e-9},
+            )
+        except (ValueError, FloatingPointError):  # pragma: no cover - scipy hiccups
+            continue
+        if res.success and res.fun < best_f:
+            det = np.linalg.det(res.x.reshape(l, l))
+            if abs(det - v) / v < 1e-3:
+                best_f = float(res.fun)
+                best_x = res.x.copy()
+    if best_x is None:
+        raise OptimizationError("parallelepiped optimization failed from all starts")
+    lm = best_x.reshape(l, l)
+    tile = _round_tile(lm)
+    return ParallelepipedOptResult(
+        l_matrix=lm,
+        tile=tile,
+        objective=best_f,
+        rectangular_objective=rect_obj,
+        improvement=(rect_obj - best_f) / rect_obj if rect_obj else 0.0,
+    )
+
+
+def _round_tile(lm: np.ndarray) -> ParallelepipedTile:
+    """Round a float L to a usable integer tile (nonzero determinant)."""
+    rounded = np.round(lm).astype(np.int64)
+    if abs(np.linalg.det(rounded.astype(float))) >= 0.5:
+        return ParallelepipedTile(rounded)
+    # Nudge diagonal entries until nonsingular.
+    l = lm.shape[0]
+    for bump in range(1, 4):
+        cand = rounded + bump * np.eye(l, dtype=np.int64)
+        if abs(np.linalg.det(cand.astype(float))) >= 0.5:
+            return ParallelepipedTile(cand)
+    raise OptimizationError(f"could not round {lm} to a nonsingular tile")
+
+
+def sharing_directions(accesses_or_sets) -> np.ndarray:
+    """Iteration-space directions along which tiles share data.
+
+    Rows are (a) the integer kernel basis of each class's ``G``
+    (self-reuse) and (b) one particular solution ``x0`` per intersecting
+    reference pair (``x0·G = a_s − a_r``).  Any partition that never
+    separates two iterations differing by a row (or an integer combination
+    of rows plus kernel moves) is communication-free.
+    """
+    uisets = _as_uisets(accesses_or_sets)
+    rows: list[np.ndarray] = []
+    for s in uisets:
+        rows.extend(integer_kernel_basis(s.g))
+        offs = s.offsets
+        for r_i, s_i in combinations(range(s.size), 2):
+            x0 = solve_integer(s.g, offs[s_i] - offs[r_i])
+            if x0 is not None and np.any(x0):
+                rows.append(x0)
+    if not rows:
+        depth = uisets[0].g.shape[0] if uisets else 0
+        return np.empty((0, depth), dtype=np.int64)
+    return np.vstack(rows)
+
+
+def communication_free_partition(accesses_or_sets, depth: int) -> np.ndarray:
+    """Hyperplane directions that induce zero inter-tile traffic.
+
+    Two iterations ``i1, i2`` share data through class members ``r, s``
+    iff ``i1 − i2 ∈ x0_{rs} + ker_Z(G)`` where ``x0_{rs}·G = a_s − a_r``.
+    A family of parallel cutting hyperplanes ``h·i = c`` is
+    communication-free iff ``h`` is orthogonal to *every* such sharing
+    direction — the particular solutions for all intersecting pairs and
+    the kernel basis of every class's ``G``.
+
+    Returns a ``(k, depth)`` integer matrix whose rows are independent
+    communication-free hyperplane normals (empty when none exist, e.g.
+    Example 10).  Cutting along all ``k`` rows yields the
+    Ramanujam–Sadayappan communication-free partition; ``k = 0``
+    reproduces their "no communication-free partition exists" verdict,
+    where this framework still optimises (Section 5).
+    """
+    c = sharing_directions(_as_uisets(accesses_or_sets))
+    if c.shape[0] == 0:
+        # Everything is private per iteration: every direction is free.
+        return np.eye(depth, dtype=np.int64)
+    # h must satisfy c · hᵀ = 0  ⇔  h ∈ integer kernel of cᵀ (as rows act
+    # from the left): x·(cᵀ) = 0.
+    return integer_kernel_basis(c.T)

@@ -1,0 +1,49 @@
+"""Spread vectors of a uniformly intersecting class (Definition 8).
+
+For caches the relevant measure is the *spread* ``â``: per array
+dimension, the max−min of the member offsets.  The cumulative footprint of
+the class is (approximately) one footprint dilated by ``â`` (Theorem 2 /
+Theorem 4), because offsets between the extremes land inside the dilated
+region.
+
+For *data partitioning* (footnote 2) the copies are not dynamic, so every
+distinct offset beyond the median costs its own remote traffic: the
+cumulative spread ``a⁺_k = Σ_r |a_{r,k} − med_r(a_{r,k})|`` replaces
+``â``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_int_matrix
+
+__all__ = ["spread_vector", "cumulative_spread_vector"]
+
+
+def spread_vector(offsets) -> np.ndarray:
+    """``â_k = max_r a_{r,k} − min_r a_{r,k}`` (Definition 8).
+
+    ``offsets`` is an ``(R, d)`` integer matrix of the class's offset
+    vectors; the result has length ``d``.
+
+    Examples
+    --------
+    >>> spread_vector([[0, 0, 0], [-1, 0, 1], [1, -2, -3]]).tolist()
+    [2, 2, 4]
+    """
+    a = as_int_matrix(np.atleast_2d(offsets), name="offsets")
+    return (a.max(axis=0) - a.min(axis=0)).astype(np.int64)
+
+
+def cumulative_spread_vector(offsets) -> np.ndarray:
+    """``a⁺_k = Σ_r |a_{r,k} − med_r(a_{r,k})|`` (footnote 2).
+
+    The median is taken per dimension; for an even member count numpy's
+    midpoint median may be half-integral, in which case both neighbours
+    give the same absolute-deviation sum, so the formula stays integral.
+    """
+    a = as_int_matrix(np.atleast_2d(offsets), name="offsets")
+    med = np.median(a, axis=0)
+    dev = np.abs(a - med).sum(axis=0)
+    return np.round(dev).astype(np.int64)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the framework with a single ``except``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NonIntegerMatrixError",
+    "SingularMatrixError",
+    "NotUnimodularError",
+    "ParseError",
+    "LoweringError",
+    "PartitionError",
+    "OptimizationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class NonIntegerMatrixError(ReproError, ValueError):
+    """A matrix expected to have integer entries did not."""
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """A matrix expected to be nonsingular was singular."""
+
+
+class NotUnimodularError(ReproError, ValueError):
+    """A matrix expected to be unimodular was not."""
+
+
+class ParseError(ReproError, SyntaxError):
+    """The Doall-language parser rejected the input program.
+
+    Attributes
+    ----------
+    line, column:
+        1-based source position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class LoweringError(ReproError, ValueError):
+    """The AST could not be lowered to the affine loop-nest IR.
+
+    Raised e.g. for subscripts that are not affine in the loop indices.
+    """
+
+
+class PartitionError(ReproError, ValueError):
+    """A loop/data partition request was invalid or infeasible."""
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """The tile-shape optimizer failed to produce a feasible tile."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The multiprocessor simulator was driven into an invalid state."""

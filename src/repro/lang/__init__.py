@@ -1,0 +1,60 @@
+"""Doall-language frontend (substrate S8).
+
+A small compiler frontend for the paper's loop syntax (Figures 1, 9, 11
+and the worked examples), standing in for the Mul-T / Semi-C → WAIF path
+of the Alewife compiler (Section 4, Figure 10)::
+
+    Doseq (t, 1, T)
+      Doall (i, 1, N)
+        Doall (j, 1, N)
+          A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3]
+        EndDoall
+      EndDoall
+    EndDoseq
+
+Accepted flourishes from the paper's listings: parenthesised subscripts
+``B(i-1,j,k+1)``, implicit coefficients ``C(i,2i,i+2j-1)``, and the
+fine-grain-synchronization prefix ``l$C[i,j]`` (also ``1$``, as printed in
+Figure 11) whose accesses the coherence system treats as writes
+(Appendix A).
+
+Pipeline: :func:`tokenize` → :func:`parse_program` → :func:`lower_program`
+→ :class:`repro.core.LoopNest`.  :func:`compile_nest` runs all three.
+"""
+
+from .tokens import Token, TokenKind
+from .lexer import tokenize
+from .ast_nodes import (
+    AffineExpr,
+    Assign,
+    BinOp,
+    Const,
+    LoopNode,
+    Neg,
+    Program,
+    RefNode,
+    Scalar,
+    collect_refs,
+)
+from .parser import parse_program
+from .lower import lower_nest, lower_program, compile_nest
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "AffineExpr",
+    "Assign",
+    "BinOp",
+    "Const",
+    "Neg",
+    "Scalar",
+    "collect_refs",
+    "LoopNode",
+    "Program",
+    "RefNode",
+    "parse_program",
+    "lower_nest",
+    "lower_program",
+    "compile_nest",
+]

@@ -1,0 +1,187 @@
+"""AST for the Doall language.
+
+Subscript and bound expressions are *affine forms*: a mapping from
+variable name to integer coefficient plus an integer constant
+(:class:`AffineExpr`).  Anything non-affine (e.g. ``i*j``) is rejected at
+parse time, mirroring the paper's program domain (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import LoweringError
+
+__all__ = [
+    "AffineExpr",
+    "RefNode",
+    "BinOp",
+    "Neg",
+    "Const",
+    "Scalar",
+    "collect_refs",
+    "Assign",
+    "LoopNode",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``Σ coeff_v · v + const`` with integer coefficients."""
+
+    coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def constant(c: int) -> "AffineExpr":
+        return AffineExpr((), int(c))
+
+    @staticmethod
+    def variable(name: str) -> "AffineExpr":
+        return AffineExpr(((name, 1),), 0)
+
+    def coeff_map(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    def __add__(self, other: "AffineExpr") -> "AffineExpr":
+        m = self.coeff_map()
+        for v, c in other.coeffs:
+            m[v] = m.get(v, 0) + c
+        return AffineExpr(
+            tuple(sorted((v, c) for v, c in m.items() if c != 0)),
+            self.const + other.const,
+        )
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr(tuple((v, -c) for v, c in self.coeffs), -self.const)
+
+    def __sub__(self, other: "AffineExpr") -> "AffineExpr":
+        return self + (-other)
+
+    def scale(self, k: int) -> "AffineExpr":
+        return AffineExpr(
+            tuple((v, c * k) for v, c in self.coeffs if c * k != 0), self.const * k
+        )
+
+    def multiply(self, other: "AffineExpr") -> "AffineExpr":
+        """Product, defined only when one factor is constant (affinity)."""
+        if not other.coeffs:
+            return self.scale(other.const)
+        if not self.coeffs:
+            return other.scale(self.const)
+        raise LoweringError(
+            f"non-affine product of {self} and {other}"
+        )
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, bindings: dict[str, int]) -> int:
+        """Fully evaluate given values for every variable."""
+        total = self.const
+        for v, c in self.coeffs:
+            if v not in bindings:
+                raise LoweringError(f"unbound symbol {v!r} in {self}")
+            total += c * int(bindings[v])
+        return total
+
+    def substitute(self, bindings: dict[str, int]) -> "AffineExpr":
+        """Replace any bound variables with their constant values."""
+        const = self.const
+        keep = []
+        for v, c in self.coeffs:
+            if v in bindings:
+                const += c * int(bindings[v])
+            else:
+                keep.append((v, c))
+        return AffineExpr(tuple(keep), const)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{c}*{v}" for v, c in self.coeffs]
+        parts.append(str(self.const))
+        return "(" + " + ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class RefNode:
+    """An array reference ``A[e1, ..., ed]`` with optional sync prefix."""
+
+    array: str
+    subscripts: tuple[AffineExpr, ...]
+    sync: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """RHS arithmetic node (``op`` ∈ ``+ - * /``)."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Neg:
+    """Unary minus on an RHS subexpression."""
+
+    operand: object
+
+
+@dataclass(frozen=True)
+class Const:
+    """Integer literal on the RHS."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Scalar:
+    """A bare identifier on the RHS (loop index or bound symbol)."""
+
+    name: str
+
+
+def collect_refs(expr) -> tuple[RefNode, ...]:
+    """All array references in an RHS expression tree, left to right."""
+    if isinstance(expr, RefNode):
+        return (expr,)
+    if isinstance(expr, BinOp):
+        return collect_refs(expr.left) + collect_refs(expr.right)
+    if isinstance(expr, Neg):
+        return collect_refs(expr.operand)
+    return ()
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``lhs = rhs`` with the full RHS expression tree retained (so the
+    program can actually be *executed*, not just analysed)."""
+
+    lhs: RefNode
+    rhs: object = Const(0)
+    line: int = 0
+
+    @property
+    def rhs_refs(self) -> tuple[RefNode, ...]:
+        return collect_refs(self.rhs)
+
+
+@dataclass(frozen=True)
+class LoopNode:
+    """A ``Doall``/``Doseq`` level with affine (possibly symbolic) bounds."""
+
+    kind: str  # 'doall' | 'doseq'
+    index: str
+    lower: AffineExpr
+    upper: AffineExpr
+    body: tuple = field(default_factory=tuple)  # LoopNode | Assign
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    """Top level: a sequence of loop nests (usually one)."""
+
+    nests: tuple[LoopNode, ...]

@@ -1,0 +1,87 @@
+"""Lexer for the Doall language.
+
+Line-oriented: newlines are significant (they terminate statements);
+``//`` and ``#`` start comments to end of line.  The sync prefix lexes as
+one token from either ``l$`` or ``1$`` (the paper's Figure 11 prints the
+latter).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ParseError
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "=": TokenKind.EQUALS,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens (ending with NEWLINE-collapsed EOF).
+
+    Raises :class:`~repro.exceptions.ParseError` on illegal characters.
+    """
+    tokens: list[Token] = []
+    line_no = 0
+    for raw_line in source.splitlines():
+        line_no += 1
+        line = raw_line
+        # comments
+        for marker in ("//", "#"):
+            pos = line.find(marker)
+            if pos >= 0:
+                line = line[:pos]
+        col = 0
+        n = len(line)
+        emitted = False
+        while col < n:
+            ch = line[col]
+            if ch in " \t\r":
+                col += 1
+                continue
+            start_col = col + 1
+            # sync prefix: l$ or 1$
+            if ch in ("l", "1") and col + 1 < n and line[col + 1] == "$":
+                tokens.append(Token(TokenKind.SYNC, line[col : col + 2], line_no, start_col))
+                col += 2
+                emitted = True
+                continue
+            if ch.isdigit():
+                j = col
+                while j < n and line[j].isdigit():
+                    j += 1
+                tokens.append(Token(TokenKind.INT, line[col:j], line_no, start_col))
+                col = j
+                emitted = True
+                continue
+            if ch.isalpha() or ch == "_":
+                j = col
+                while j < n and (line[j].isalnum() or line[j] == "_"):
+                    j += 1
+                text = line[col:j]
+                kind = KEYWORDS.get(text.lower(), TokenKind.IDENT)
+                tokens.append(Token(kind, text, line_no, start_col))
+                col = j
+                emitted = True
+                continue
+            if ch in _SINGLE:
+                tokens.append(Token(_SINGLE[ch], ch, line_no, start_col))
+                col += 1
+                emitted = True
+                continue
+            raise ParseError(f"illegal character {ch!r}", line_no, start_col)
+        if emitted:
+            tokens.append(Token(TokenKind.NEWLINE, "\n", line_no, n + 1))
+    tokens.append(Token(TokenKind.EOF, "", line_no + 1, 1))
+    return tokens

@@ -1,0 +1,250 @@
+"""Recursive-descent parser for the Doall language.
+
+Grammar (newline-terminated statements)::
+
+    program   := nest*
+    nest      := loop
+    loop      := ("Doall" | "Doseq") "(" IDENT "," expr "," expr ")" NL
+                 (loop | assign)* end NL
+    end       := "EndDoall" | "EndDoseq"
+    assign    := ref "=" rhs NL
+    rhs       := term (("+" | "-") term)*
+    term      := factor (("*" | "/") factor)*
+    factor    := ref | expr-atom | "(" rhs ")"
+    ref       := [SYNC] IDENT ("[" expr-list "]" | "(" expr-list ")")
+    expr      := affine expression over idents and ints with + - * and
+                 implicit products like "2i"
+
+Only the *references* of the right-hand side are retained (the arithmetic
+combining them is irrelevant to partitioning).  An identifier followed by
+``[`` or ``(`` inside an expression is a reference; a bare identifier is a
+scalar/index variable.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ParseError
+from .ast_nodes import (
+    AffineExpr,
+    Assign,
+    BinOp,
+    Const,
+    LoopNode,
+    Neg,
+    Program,
+    RefNode,
+    Scalar,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+__all__ = ["parse_program", "Parser"]
+
+
+class Parser:
+    """Token-stream parser; see module docstring for the grammar."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- stream helpers ---------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r}, found {tok.text!r}", tok.line, tok.column
+            )
+        return self.next()
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind is TokenKind.NEWLINE:
+            self.next()
+
+    # -- entry points -----------------------------------------------------
+    def parse_program(self) -> Program:
+        nests = []
+        self.skip_newlines()
+        while self.peek().kind is not TokenKind.EOF:
+            nests.append(self.parse_loop())
+            self.skip_newlines()
+        if not nests:
+            raise ParseError("empty program", 1, 1)
+        return Program(tuple(nests))
+
+    def parse_loop(self) -> LoopNode:
+        head = self.peek()
+        if head.kind not in (TokenKind.DOALL, TokenKind.DOSEQ):
+            raise ParseError(
+                f"expected Doall/Doseq, found {head.text!r}", head.line, head.column
+            )
+        self.next()
+        kind = "doall" if head.kind is TokenKind.DOALL else "doseq"
+        self.expect(TokenKind.LPAREN)
+        index = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.COMMA)
+        lower = self.parse_affine()
+        self.expect(TokenKind.COMMA)
+        upper = self.parse_affine()
+        self.expect(TokenKind.RPAREN)
+        self.expect(TokenKind.NEWLINE)
+        body: list = []
+        self.skip_newlines()
+        while True:
+            tok = self.peek()
+            if tok.kind in (TokenKind.ENDDOALL, TokenKind.ENDDOSEQ):
+                self.next()
+                if self.peek().kind is TokenKind.NEWLINE:
+                    self.next()
+                break
+            if tok.kind in (TokenKind.DOALL, TokenKind.DOSEQ):
+                body.append(self.parse_loop())
+            elif tok.kind in (TokenKind.IDENT, TokenKind.SYNC):
+                body.append(self.parse_assign())
+            elif tok.kind is TokenKind.EOF:
+                raise ParseError(
+                    f"unterminated {kind} loop opened here", head.line, head.column
+                )
+            else:
+                raise ParseError(
+                    f"unexpected {tok.text!r} in loop body", tok.line, tok.column
+                )
+            self.skip_newlines()
+        return LoopNode(kind, index, lower, upper, tuple(body), head.line)
+
+    # -- statements -------------------------------------------------------
+    def parse_assign(self) -> Assign:
+        lhs = self.parse_ref()
+        self.expect(TokenKind.EQUALS)
+        rhs = self.parse_rhs()
+        if self.peek().kind is TokenKind.NEWLINE:
+            self.next()
+        return Assign(lhs, rhs, lhs.line)
+
+    def parse_rhs(self):
+        expr = self.parse_rhs_term()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.next()
+            expr = BinOp(op.text, expr, self.parse_rhs_term())
+        return expr
+
+    def parse_rhs_term(self):
+        expr = self.parse_rhs_factor()
+        while self.peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self.next()
+            expr = BinOp(op.text, expr, self.parse_rhs_factor())
+        return expr
+
+    def parse_rhs_factor(self):
+        tok = self.peek()
+        if tok.kind is TokenKind.LPAREN:
+            self.next()
+            inner = self.parse_rhs()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if tok.kind is TokenKind.SYNC or (
+            tok.kind is TokenKind.IDENT
+            and self.peek(1).kind in (TokenKind.LBRACKET, TokenKind.LPAREN)
+        ):
+            return self.parse_ref()
+        if tok.kind is TokenKind.IDENT:
+            self.next()
+            return Scalar(tok.text)
+        if tok.kind is TokenKind.INT:
+            self.next()
+            return Const(tok.value)
+        if tok.kind is TokenKind.MINUS:  # unary minus
+            self.next()
+            return Neg(self.parse_rhs_factor())
+        raise ParseError(f"unexpected {tok.text!r} in expression", tok.line, tok.column)
+
+    def parse_ref(self) -> RefNode:
+        sync = False
+        tok = self.peek()
+        if tok.kind is TokenKind.SYNC:
+            sync = True
+            self.next()
+        name_tok = self.expect(TokenKind.IDENT)
+        open_tok = self.peek()
+        if open_tok.kind is TokenKind.LBRACKET:
+            close = TokenKind.RBRACKET
+        elif open_tok.kind is TokenKind.LPAREN:
+            close = TokenKind.RPAREN
+        else:
+            raise ParseError(
+                f"expected subscripts after {name_tok.text!r}",
+                open_tok.line,
+                open_tok.column,
+            )
+        self.next()
+        subs = [self.parse_affine()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.next()
+            subs.append(self.parse_affine())
+        self.expect(close)
+        return RefNode(name_tok.text, tuple(subs), sync, name_tok.line)
+
+    # -- affine expressions ------------------------------------------------
+    def parse_affine(self) -> AffineExpr:
+        expr = self.parse_affine_term()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.next()
+            rhs = self.parse_affine_term()
+            expr = expr + rhs if op.kind is TokenKind.PLUS else expr - rhs
+        return expr
+
+    def parse_affine_term(self) -> AffineExpr:
+        expr = self.parse_affine_atom()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokenKind.STAR:
+                self.next()
+                rhs = self.parse_affine_atom()
+                expr = expr.multiply(rhs)
+            elif tok.kind is TokenKind.IDENT and self._implicit_product_ok(expr):
+                # implicit product "2i" / "2 i": constant followed by ident
+                self.next()
+                expr = expr.multiply(AffineExpr.variable(tok.text))
+            else:
+                return expr
+
+    @staticmethod
+    def _implicit_product_ok(expr: AffineExpr) -> bool:
+        return expr.is_constant()
+
+    def parse_affine_atom(self) -> AffineExpr:
+        tok = self.peek()
+        if tok.kind is TokenKind.INT:
+            self.next()
+            return AffineExpr.constant(tok.value)
+        if tok.kind is TokenKind.IDENT:
+            self.next()
+            return AffineExpr.variable(tok.text)
+        if tok.kind is TokenKind.MINUS:
+            self.next()
+            return -self.parse_affine_atom()
+        if tok.kind is TokenKind.PLUS:
+            self.next()
+            return self.parse_affine_atom()
+        if tok.kind is TokenKind.LPAREN:
+            self.next()
+            inner = self.parse_affine()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        raise ParseError(
+            f"expected affine expression, found {tok.text!r}", tok.line, tok.column
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse Doall-language source into a :class:`Program` AST."""
+    return Parser(tokenize(source)).parse_program()

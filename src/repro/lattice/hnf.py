@@ -1,0 +1,125 @@
+"""Hermite normal form of integer matrices.
+
+We use the *row-style* HNF throughout, matching the paper's row-vector
+convention: for an integer matrix ``A`` (rows generate a lattice), the HNF
+is ``H = U·A`` with ``U`` unimodular, ``H`` in row-echelon form with
+positive pivots and entries below each pivot zero, entries above each pivot
+reduced into ``[0, pivot)``.
+
+The row lattice of ``A`` equals the row lattice of ``H``, which makes HNF
+the workhorse for lattice membership (Definition 9 / Theorem 3) and for the
+"onto" test of Lemma 2 via the Hermite normal form theorem the paper cites
+(Schrijver, *Theory of Linear and Integer Programming*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_int_matrix
+
+__all__ = ["HNFResult", "hermite_normal_form", "row_style_hnf"]
+
+
+@dataclass(frozen=True)
+class HNFResult:
+    """Result of a Hermite normal form computation.
+
+    Attributes
+    ----------
+    h:
+        The HNF matrix, same shape as the input, ``h = u @ a``.
+    u:
+        The unimodular row-transform matrix (``|det u| = 1``).
+    pivots:
+        ``(row, col)`` positions of the echelon pivots; ``len(pivots)`` is
+        the rank of the input.
+    """
+
+    h: np.ndarray
+    u: np.ndarray
+    pivots: tuple[tuple[int, int], ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.pivots)
+
+
+def hermite_normal_form(a) -> HNFResult:
+    """Row-style Hermite normal form ``H = U·A`` of an integer matrix.
+
+    Works for any (possibly rank-deficient, possibly non-square) integer
+    matrix.  Entries are Python ints internally, so no overflow.
+
+    Examples
+    --------
+    >>> res = hermite_normal_form([[2, 4], [1, 3]])
+    >>> res.h.tolist()
+    [[1, 1], [0, 2]]
+    """
+    a = as_int_matrix(a, name="HNF argument")
+    m, n = a.shape
+    # python-int working copies
+    h = [[int(x) for x in row] for row in a]
+    u = [[int(i == j) for j in range(m)] for i in range(m)]
+
+    def swap_rows(i: int, j: int) -> None:
+        h[i], h[j] = h[j], h[i]
+        u[i], u[j] = u[j], u[i]
+
+    def add_multiple(dst: int, src: int, k: int) -> None:
+        if k == 0:
+            return
+        h[dst] = [x + k * y for x, y in zip(h[dst], h[src])]
+        u[dst] = [x + k * y for x, y in zip(u[dst], u[src])]
+
+    def negate(i: int) -> None:
+        h[i] = [-x for x in h[i]]
+        u[i] = [-x for x in u[i]]
+
+    pivots: list[tuple[int, int]] = []
+    row = 0
+    for col in range(n):
+        if row >= m:
+            break
+        # Euclidean elimination below position (row, col): repeatedly reduce
+        # by the smallest nonzero entry until a single nonzero remains.
+        while True:
+            nz = [r for r in range(row, m) if h[r][col] != 0]
+            if not nz:
+                break
+            r_min = min(nz, key=lambda r: abs(h[r][col]))
+            if r_min != row:
+                swap_rows(row, r_min)
+            done = True
+            for r in range(row + 1, m):
+                if h[r][col] != 0:
+                    q = h[r][col] // h[row][col]
+                    add_multiple(r, row, -q)
+                    if h[r][col] != 0:
+                        done = False
+            if done:
+                break
+        if h[row][col] != 0:
+            if h[row][col] < 0:
+                negate(row)
+            # Reduce entries above the pivot into [0, pivot).
+            p = h[row][col]
+            for r in range(row):
+                q = h[r][col] // p
+                add_multiple(r, row, -q)
+            pivots.append((row, col))
+            row += 1
+
+    return HNFResult(
+        h=np.array(h, dtype=np.int64),
+        u=np.array(u, dtype=np.int64),
+        pivots=tuple(pivots),
+    )
+
+
+def row_style_hnf(a) -> np.ndarray:
+    """Convenience wrapper returning only the HNF matrix ``H``."""
+    return hermite_normal_form(a).h

@@ -1,0 +1,204 @@
+"""Full-map directory MSI protocol.
+
+Each memory address has a directory entry at its home node recording the
+sharer set and (exclusive) owner.  The directory serialises protocol
+actions; the machine calls :meth:`Directory.read` / :meth:`Directory.write`
+which mutate the caches and return the messages exchanged so the network
+layer can price them.
+
+Message accounting (unit-size messages, one per protocol hop):
+
+=====================  =======================================================
+event                  messages
+=====================  =======================================================
+read, clean            requester→home, home→requester (data)
+read, dirty remote     requester→home, home→owner, owner→requester (data),
+                       owner→home (writeback/sharer update)
+write, no sharers      requester→home, home→requester (data/ack)
+write, with sharers    + home→sharer and sharer→home ack per sharer
+upgrade                requester→home, home→requester + invalidation pairs
+=====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from .cache import Cache, LineState
+
+__all__ = ["Directory", "CoherenceStats", "DirectoryEntry"]
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one address."""
+
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+
+
+@dataclass
+class CoherenceStats:
+    """Machine-wide protocol event counters."""
+
+    cold_fills: int = 0          # first-ever fetch of an address
+    coherence_misses: int = 0    # miss on a previously-invalidated line
+    capacity_misses: int = 0     # miss on a line lost to LRU eviction
+    invalidations: int = 0       # individual invalidation messages
+    downgrades: int = 0          # M -> S interventions
+    writebacks: int = 0          # dirty data returned to home
+
+
+class Directory:
+    """The directory controller shared by all home nodes.
+
+    The home *node* of an address matters only for network pricing; the
+    protocol state is global here (one entry per address), which is
+    equivalent to per-node directories since addresses have unique homes.
+    """
+
+    def __init__(self, caches: list[Cache]):
+        self.caches = caches
+        self.entries: dict = {}
+        self.stats = CoherenceStats()
+        # Per-processor cause tracking: addr -> set of procs whose copy was
+        # invalidated (to classify the next miss as a coherence miss).
+        self._invalidated_at: dict = {}
+        self._evicted_at: dict = {}
+        self._ever_filled: set = set()
+
+    def _entry(self, addr) -> DirectoryEntry:
+        e = self.entries.get(addr)
+        if e is None:
+            e = DirectoryEntry()
+            self.entries[addr] = e
+        return e
+
+    def _classify_miss(self, addr, proc: int) -> None:
+        inv = self._invalidated_at.get(addr)
+        if inv and proc in inv:
+            self.stats.coherence_misses += 1
+            inv.discard(proc)
+            return
+        ev = self._evicted_at.get(addr)
+        if ev and proc in ev:
+            self.stats.capacity_misses += 1
+            ev.discard(proc)
+            return
+        if addr not in self._ever_filled:
+            self.stats.cold_fills += 1
+
+    def note_eviction(self, addr, proc: int) -> None:
+        """Cache informs directory of an LRU eviction (silent drop of S,
+        writeback of M)."""
+        e = self._entry(addr)
+        if e.owner == proc:
+            e.owner = None
+            self.stats.writebacks += 1
+        e.sharers.discard(proc)
+        self._evicted_at.setdefault(addr, set()).add(proc)
+
+    # ------------------------------------------------------------------
+    def read(self, addr, proc: int) -> list[tuple[int, int]]:
+        """Service a read miss by processor ``proc``.
+
+        Returns the protocol messages as (src_node, dst_node) pairs, with
+        the home node encoded as ``-1`` (the machine substitutes the real
+        home for pricing).
+        """
+        e = self._entry(addr)
+        self._classify_miss(addr, proc)
+        msgs = [(proc, -1)]
+        if e.owner is not None and e.owner != proc:
+            owner = e.owner
+            # Home forwards to owner; owner sends data to requester and
+            # updates home.
+            msgs += [(-1, owner), (owner, proc), (owner, -1)]
+            if not self.caches[owner].downgrade(addr):
+                raise SimulationError(
+                    f"directory says {owner} owns {addr!r} but cache disagrees"
+                )
+            self.stats.downgrades += 1
+            self.stats.writebacks += 1
+            e.sharers.add(owner)
+            e.owner = None
+        else:
+            msgs.append((-1, proc))
+        e.sharers.add(proc)
+        self._fill(addr, proc, LineState.SHARED)
+        return msgs
+
+    def write(self, addr, proc: int, *, upgrade: bool) -> list[tuple[int, int]]:
+        """Service a write miss or S→M upgrade by ``proc``."""
+        e = self._entry(addr)
+        if not upgrade:
+            self._classify_miss(addr, proc)
+        msgs = [(proc, -1)]
+        if e.owner is not None and e.owner != proc:
+            owner = e.owner
+            msgs += [(-1, owner), (owner, proc)]
+            if not self.caches[owner].invalidate(addr):
+                raise SimulationError(
+                    f"directory says {owner} owns {addr!r} but cache disagrees"
+                )
+            self._invalidated_at.setdefault(addr, set()).add(owner)
+            self.stats.invalidations += 1
+            self.stats.writebacks += 1
+            e.owner = None
+            e.sharers.discard(owner)
+        # Invalidate all other sharers.
+        for sharer in sorted(e.sharers - {proc}):
+            msgs += [(-1, sharer), (sharer, -1)]
+            self.caches[sharer].invalidate(addr)
+            self._invalidated_at.setdefault(addr, set()).add(sharer)
+            self.stats.invalidations += 1
+        if upgrade:
+            msgs.append((-1, proc))
+        else:
+            msgs.append((-1, proc))
+        e.sharers = {proc}
+        e.owner = proc
+        self._fill(addr, proc, LineState.MODIFIED)
+        return msgs
+
+    def _fill(self, addr, proc: int, state: LineState) -> None:
+        for victim in self.caches[proc].fill(addr, state):
+            self.note_eviction(victim, proc)
+        self._ever_filled.add(addr)
+
+    # ------------------------------------------------------------------
+    def sharer_histogram(self) -> dict[int, int]:
+        """Map ``k`` → number of addresses currently cached by ``k`` procs."""
+        hist: dict[int, int] = {}
+        for e in self.entries.values():
+            k = len(e.sharers) + (1 if e.owner is not None and e.owner not in e.sharers else 0)
+            hist[k] = hist.get(k, 0) + 1
+        return hist
+
+    def check_invariants(self) -> None:
+        """Protocol sanity: an owned line has exactly one cached M copy and
+        no other copies; sharer sets match the caches."""
+        for addr, e in self.entries.items():
+            holders = [
+                p for p, c in enumerate(self.caches) if c.state(addr) is not None
+            ]
+            m_holders = [
+                p for p in holders if self.caches[p].state(addr) is LineState.MODIFIED
+            ]
+            if e.owner is not None:
+                if m_holders != [e.owner] or set(holders) != {e.owner}:
+                    raise SimulationError(
+                        f"invariant violation at {addr!r}: owner={e.owner}, "
+                        f"holders={holders}, M={m_holders}"
+                    )
+            else:
+                if m_holders:
+                    raise SimulationError(
+                        f"invariant violation at {addr!r}: no owner but M copies {m_holders}"
+                    )
+                if set(holders) != e.sharers:
+                    raise SimulationError(
+                        f"invariant violation at {addr!r}: sharers {e.sharers} "
+                        f"vs holders {holders}"
+                    )

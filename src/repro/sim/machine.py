@@ -1,0 +1,172 @@
+"""The simulated cache-coherent multiprocessor (Figure 2).
+
+Composes caches, directory, address map and network into the system of
+Section 2.2.  :meth:`Machine.access` is the single entry point: processor
+``p`` touches ``(array, coords)`` with a read / write / sync access and
+every protocol consequence (fills, invalidations, network messages) is
+accounted.
+
+Synchronizing accesses (Appendix A's ``l$`` accumulates) are "treated as
+writes by the coherence system" — :meth:`access` maps ``sync`` to the
+write path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from .cache import Cache
+from .directory import Directory
+from .memory import AddressMap, flat_address_map
+from .network import GraphNetwork, MeshNetwork
+
+__all__ = ["Machine", "MachineConfig"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static machine parameters.
+
+    ``cache_capacity=None`` models the paper's infinite-cache assumption.
+    ``remote_cost`` / ``local_cost`` price a miss serviced by a remote vs
+    local home (cache hits are free, matching the analysis's
+    "cost of a main memory access is much higher than a cache access").
+
+    ``line_size`` groups consecutive elements of each array's *last*
+    dimension into one coherence unit ("The effect of larger cache lines
+    can be included as suggested in [6]", Section 2.2); the default 1
+    reproduces the paper's unit-line analysis.
+
+    ``cache_enabled=False`` models the local-memory multicomputer of
+    footnote 2 (data partitioning): no dynamic copying — every access
+    goes to the element's home module and pays local or remote cost.
+    """
+
+    processors: int
+    cache_capacity: int | None = None
+    local_cost: int = 1
+    remote_cost: int = 5
+    mesh_shape: tuple[int, int] | None = None
+    line_size: int = 1
+    cache_enabled: bool = True
+
+    def __post_init__(self):
+        if self.line_size < 1:
+            raise ValueError(f"line_size must be >= 1, got {self.line_size}")
+
+
+class Machine:
+    """A ``P``-processor cache-coherent shared-memory machine."""
+
+    def __init__(
+        self,
+        config: MachineConfig | int,
+        *,
+        address_map: AddressMap | None = None,
+        network=None,
+    ):
+        if isinstance(config, int):
+            config = MachineConfig(processors=config)
+        if config.processors < 1:
+            raise SimulationError("need at least one processor")
+        self.config = config
+        self.p = config.processors
+        self.caches = [Cache(config.cache_capacity) for _ in range(self.p)]
+        self.directory = Directory(self.caches)
+        self.address_map = address_map or flat_address_map(self.p)
+        self.network = network or MeshNetwork(self.p, config.mesh_shape)
+        self.local_miss_count = [0] * self.p
+        self.remote_miss_count = [0] * self.p
+        self.memory_cost = [0] * self.p
+
+    # ------------------------------------------------------------------
+    def _account_messages(self, msgs, home: int) -> None:
+        for src, dst in msgs:
+            s = home if src == -1 else src
+            d = home if dst == -1 else dst
+            if s != d:
+                self.network.send(s, d)
+
+    def _account_miss(self, proc: int, home: int) -> None:
+        if home == proc:
+            self.local_miss_count[proc] += 1
+            self.memory_cost[proc] += self.config.local_cost
+        else:
+            self.remote_miss_count[proc] += 1
+            self.memory_cost[proc] += self.config.remote_cost
+
+    def line_of(self, array: str, coords: tuple[int, ...]) -> tuple[int, ...]:
+        """Coherence-unit coordinates: last dimension divided by line size."""
+        if self.config.line_size == 1:
+            return coords
+        ls = self.config.line_size
+        return coords[:-1] + (coords[-1] // ls,)
+
+    def access(self, proc: int, array: str, coords: tuple[int, ...], kind: str) -> bool:
+        """One memory access; returns True on a cache hit.
+
+        ``kind`` ∈ {'read', 'write', 'sync'}; sync behaves as write
+        (Appendix A).
+        """
+        if not 0 <= proc < self.p:
+            raise SimulationError(f"no such processor {proc}")
+        if kind not in ("read", "write", "sync"):
+            raise SimulationError(f"unknown access kind {kind!r}")
+        coords = self.line_of(array, coords)
+        if not self.config.cache_enabled:
+            # Local-memory multicomputer (footnote 2): every access goes
+            # to the home module; no replication, no coherence.
+            st = self.caches[proc].stats
+            if kind == "read":
+                st.read_misses += 1
+            else:
+                st.write_misses += 1
+            home = self.address_map.home(array, coords)
+            if home != proc:
+                self.network.send(proc, home)
+                self.network.send(home, proc)
+            self._account_miss(proc, home)
+            return False
+        addr = (array, coords)
+        cache = self.caches[proc]
+        if kind == "read":
+            if cache.lookup_read(addr):
+                return True
+            home = self.address_map.home(array, coords)
+            msgs = self.directory.read(addr, proc)
+            self._account_messages(msgs, home)
+            self._account_miss(proc, home)
+            return False
+        if kind in ("write", "sync"):
+            outcome = cache.lookup_write(addr)
+            if outcome == "hit":
+                return True
+            home = self.address_map.home(array, coords)
+            msgs = self.directory.write(addr, proc, upgrade=(outcome == "upgrade"))
+            self._account_messages(msgs, home)
+            self._account_miss(proc, home)
+            return False
+        raise SimulationError(f"unknown access kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_misses(self) -> int:
+        return sum(c.stats.misses for c in self.caches)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(c.stats.accesses for c in self.caches)
+
+    def flush_caches(self) -> None:
+        """Reset cache and directory content, keep counters."""
+        for c in self.caches:
+            c.flush()
+        self.directory.entries.clear()
+        self.directory._invalidated_at.clear()
+        self.directory._evicted_at.clear()
+        self.directory._ever_filled.clear()
+
+    def check(self) -> None:
+        """Run protocol invariant checks (tests call this liberally)."""
+        self.directory.check_invariants()

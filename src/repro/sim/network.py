@@ -1,0 +1,96 @@
+"""Interconnect models: 2-D mesh (Alewife's topology) and general graphs.
+
+The paper's analysis prices every main-memory access equally ("the cost of
+the main memory access is the same no matter where in main memory the data
+is located"); the *placement* phase of Section 4 then notes that on a real
+mesh the distance matters ("a smaller effect that may become important in
+very large machines").  The network layer therefore reports both message
+counts (the paper's metric) and hop-weighted traffic (the placement
+metric).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["MeshNetwork", "GraphNetwork", "best_mesh_shape"]
+
+
+def best_mesh_shape(nodes: int) -> tuple[int, int]:
+    """Most-square ``rows × cols`` factorisation of ``nodes``."""
+    best = (1, nodes)
+    for r in range(1, int(math.isqrt(nodes)) + 1):
+        if nodes % r == 0:
+            best = (r, nodes // r)
+    return best
+
+
+class MeshNetwork:
+    """2-D mesh with dimension-ordered (Manhattan) routing."""
+
+    def __init__(self, nodes: int, shape: tuple[int, int] | None = None):
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        self.nodes = nodes
+        self.shape = shape or best_mesh_shape(nodes)
+        if self.shape[0] * self.shape[1] < nodes:
+            raise ValueError(f"mesh {self.shape} too small for {nodes} nodes")
+        self.messages = 0
+        self.hops = 0
+
+    def coords(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.shape[1])
+
+    def distance(self, a: int, b: int) -> int:
+        ra, ca = self.coords(a)
+        rb, cb = self.coords(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def send(self, src: int, dst: int) -> int:
+        """Account one message; returns its hop count."""
+        d = self.distance(src, dst)
+        self.messages += 1
+        self.hops += d
+        return d
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.hops = 0
+
+
+class GraphNetwork:
+    """Arbitrary topology via networkx; shortest-path hop distances."""
+
+    def __init__(self, graph: nx.Graph):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("empty topology")
+        if not nx.is_connected(graph):
+            raise ValueError("topology must be connected")
+        self.graph = graph
+        self.nodes = graph.number_of_nodes()
+        nodes_sorted = sorted(graph.nodes())
+        self._index = {n: i for i, n in enumerate(nodes_sorted)}
+        self._names = nodes_sorted
+        # Precompute all-pairs hop distances (small machines only).
+        self._dist = np.zeros((self.nodes, self.nodes), dtype=np.int64)
+        for src, lengths in nx.all_pairs_shortest_path_length(graph):
+            for dst, d in lengths.items():
+                self._dist[self._index[src], self._index[dst]] = d
+        self.messages = 0
+        self.hops = 0
+
+    def distance(self, a: int, b: int) -> int:
+        return int(self._dist[a, b])
+
+    def send(self, src: int, dst: int) -> int:
+        d = self.distance(src, dst)
+        self.messages += 1
+        self.hops += d
+        return d
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.hops = 0

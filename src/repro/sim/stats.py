@@ -1,0 +1,31 @@
+"""Small reporting helpers shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (monospace, no dependencies).
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [30, "x"]]))
+    a   b
+    --  ---
+    1   2.5
+    30  x
+    """
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return f"{x:.4g}"
+        return str(x)
+
+    cells = [[fmt(h) for h in headers]] + [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

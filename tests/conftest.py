@@ -1,0 +1,159 @@
+"""Shared fixtures: the paper's worked examples as reusable loop nests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.lang import compile_nest
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def example2_nest():
+    """Example 2: the 104-vs-140 partition comparison (Figure 3)."""
+    return compile_nest(
+        """
+        Doall (i, 101, 200)
+          Doall (j, 1, 100)
+            A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3]
+          EndDoall
+        EndDoall
+        """
+    )
+
+
+@pytest.fixture
+def example3_nest():
+    """Example 3: parallelogram tiles beat rectangles."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            A[i,j] = B[i,j] + B[i+1,j+3]
+          EndDoall
+        EndDoall
+        """,
+        {"N": 36},
+    )
+
+
+@pytest.fixture
+def example6_nest():
+    """Example 6: the skewed-tile footprint computation."""
+    return compile_nest(
+        """
+        Doall (i, 0, 99)
+          Doall (j, 0, 99)
+            A[i,j] = B[i+j,j] + B[i+j+1,j+2]
+          EndDoall
+        EndDoall
+        """
+    )
+
+
+@pytest.fixture
+def example8_nest():
+    """Example 8: the 2:3:4 stencil."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            Doall (k, 1, N)
+              A(i,j,k) = B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)
+            EndDoall
+          EndDoall
+        EndDoall
+        """,
+        {"N": 24},
+    )
+
+
+@pytest.fixture
+def example9_nest():
+    """Example 9: two uniformly intersecting classes (B and C)."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            A(i,j) = B(i-2,j) + B(i,j-1) + C(i+j,j) + C(i+j+1,j+3)
+          EndDoall
+        EndDoall
+        """,
+        {"N": 36},
+    )
+
+
+@pytest.fixture
+def example10_nest():
+    """Example 10: non-unimodular and singular reference matrices."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            A(i,j) = B(i+j,i-j) + B(i+j+4,i-j+2) + C(i,2i,i+2j-1) + C(i+1,2i+2,i+2j+1) + C(i,2i,i+2j+1)
+          EndDoall
+        EndDoall
+        """,
+        {"N": 36},
+    )
+
+
+@pytest.fixture
+def figure9_nest():
+    """Figure 9: Example 8's body under an outer Doseq."""
+    return compile_nest(
+        """
+        Doseq (t, 1, T)
+          Doall (i, 1, N)
+            Doall (j, 1, N)
+              Doall (k, 1, N)
+                B(i,j,k) = B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)
+              EndDoall
+            EndDoall
+          EndDoall
+        EndDoseq
+        """,
+        {"N": 12, "T": 3},
+    )
+
+
+@pytest.fixture
+def matmul_nest():
+    """Figure 11: matmul with fine-grain synchronizing accumulates."""
+    return compile_nest(
+        """
+        Doall (i, 1, N)
+          Doall (j, 1, N)
+            Doall (k, 1, N)
+              l$C[i,j] = l$C[i,j] + A[i,k] * B[k,j]
+            EndDoall
+          EndDoall
+        EndDoall
+        """,
+        {"N": 8},
+    )
+
+
+def small_int_matrices(draw, rows, cols, lo=-4, hi=4, nonzero=False):
+    """Hypothesis helper: draw a small integer matrix as a list of lists."""
+    from hypothesis import strategies as st
+
+    m = draw(
+        st.lists(
+            st.lists(st.integers(lo, hi), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    if nonzero and not any(any(x != 0 for x in row) for row in m):
+        m[0][0] = 1
+    return np.array(m, dtype=np.int64)

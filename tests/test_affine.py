@@ -1,0 +1,110 @@
+"""Tests for AffineRef / ArrayAccess (Section 2.1, Example 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.affine import AccessKind, AffineRef, ArrayAccess
+
+
+class TestConstruction:
+    def test_example1(self):
+        """Example 1: A(i3+2, 5, i2-1, 4) in a triply nested loop."""
+        g = [[0, 0, 0, 0], [0, 0, 1, 0], [1, 0, 0, 0]]
+        a = [2, 5, -1, 4]
+        ref = AffineRef("A", g, a)
+        assert ref.loop_depth == 3 and ref.array_dim == 4
+        assert ref((1, 2, 3)).tolist() == [5, 5, 1, 4]
+
+    def test_offset_length_checked(self):
+        with pytest.raises(ValueError):
+            AffineRef("A", [[1, 0]], [1])
+
+    def test_call_length_checked(self):
+        ref = AffineRef("A", [[1], [1]], [0])
+        with pytest.raises(ValueError):
+            ref([1])
+
+    def test_map_points_vectorised(self):
+        ref = AffineRef("B", [[1, 1], [1, -1]], [4, 2])
+        pts = np.array([[0, 0], [1, 2]])
+        out = ref.map_points(pts)
+        assert out.tolist() == [[4, 2], [7, 1]]
+
+    def test_equality_and_hash(self):
+        r1 = AffineRef("A", [[1]], [0])
+        r2 = AffineRef("A", [[1]], [0])
+        r3 = AffineRef("A", [[1]], [1])
+        assert r1 == r2 and hash(r1) == hash(r2)
+        assert r1 != r3
+        assert r1 != "A"
+
+
+class TestPredicates:
+    def test_one_to_one(self):
+        assert AffineRef("A", [[1, 0], [0, 1]], [0, 0]).is_one_to_one()
+        assert not AffineRef("A", [[1], [1]], [0]).is_one_to_one()
+
+    def test_onto(self):
+        assert AffineRef("A", [[1]], [0]).is_onto()
+        assert not AffineRef("A", [[2]], [0]).is_onto()
+
+    def test_unimodular(self):
+        assert AffineRef("A", [[1, 0], [1, 1]], [0, 0]).is_unimodular()
+        assert not AffineRef("B", [[1, 1], [1, -1]], [0, 0]).is_unimodular()
+
+
+class TestColumnReductions:
+    def test_zero_columns_example1(self):
+        g = [[0, 0, 0, 0], [0, 0, 1, 0], [1, 0, 0, 0]]
+        ref = AffineRef("A", g, [2, 5, -1, 4])
+        assert ref.zero_columns() == (1, 3)
+        red = ref.drop_zero_columns()
+        assert red.array_dim == 2
+        assert red.g.tolist() == [[0, 0], [0, 1], [1, 0]]
+        assert red.offset.tolist() == [2, -1]
+
+    def test_drop_zero_noop(self):
+        ref = AffineRef("A", [[1, 0], [0, 1]], [0, 0])
+        assert ref.drop_zero_columns() is ref
+
+    def test_example7_reduction(self):
+        """Example 7: A[i, 2i, i+j] -> G' = [[1,1],[0,1]] (columns 0, 2)."""
+        ref = AffineRef("A", [[1, 2, 1], [0, 0, 1]], [0, 0, 0])
+        assert ref.reduced_columns() == (0, 2)
+        red = ref.reduce_columns()
+        assert red.g.tolist() == [[1, 1], [0, 1]]
+
+    def test_reduce_explicit_columns(self):
+        ref = AffineRef("A", [[1, 2, 1], [0, 0, 1]], [5, 6, 7])
+        red = ref.reduce_columns([1])
+        assert red.g.tolist() == [[2], [0]]
+        assert red.offset.tolist() == [6]
+
+
+class TestDisplay:
+    def test_subscript_strings(self):
+        ref = AffineRef("B", [[1, 1], [1, -1]], [4, 3])
+        assert ref.subscript_strings(["i", "j"]) == ["i+j+4", "i-j+3"]
+
+    def test_constant_subscript(self):
+        ref = AffineRef("A", [[0, 1]], [5, 0])
+        assert ref.subscript_strings(["i"]) == ["5", "i"]
+
+    def test_coefficients(self):
+        ref = AffineRef("C", [[1, 2, 1], [0, 0, 2]], [0, 0, -1])
+        assert ref.subscript_strings(["i", "j"]) == ["i", "2*i", "i+2*j-1"]
+
+    def test_repr(self):
+        ref = AffineRef("A", [[1]], [2])
+        assert repr(ref) == "A[i1+2]"
+
+
+class TestAccessKind:
+    def test_write_like(self):
+        assert AccessKind.WRITE.is_write_like
+        assert AccessKind.SYNC.is_write_like
+        assert not AccessKind.READ.is_write_like
+
+    def test_array_access_default_read(self):
+        acc = ArrayAccess(AffineRef("A", [[1]], [0]))
+        assert acc.kind is AccessKind.READ

@@ -1,0 +1,163 @@
+"""Tests for the baseline algorithms (Abraham-Hudak, R&S, naive)."""
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+from repro.baselines.abraham_hudak import abraham_hudak_partition
+from repro.baselines.naive import (
+    cols_partition,
+    rows_partition,
+    square_partition,
+    strip_partition,
+)
+from repro.baselines.ramanujam_sadayappan import (
+    communication_free_hyperplanes,
+    data_hyperplane,
+)
+from repro.core import optimize_rectangular, partition_references
+from repro.core.loopnest import IterationSpace
+from repro.exceptions import PartitionError
+from repro.lang import compile_nest
+
+
+@pytest.fixture
+def ah_nest():
+    """A single-array G=I nest in A&H's domain (Example 8 shape)."""
+    return compile_nest(
+        """
+        Doall (i, 1, 24)
+         Doall (j, 1, 24)
+          Doall (k, 1, 24)
+           A(i,j,k) = A(i-1,j,k+1) + A(i,j+1,k) + A(i+1,j-2,k-3)
+          EndDoall
+         EndDoall
+        EndDoall
+        """
+    )
+
+
+class TestAbrahamHudak:
+    def test_example8_agreement(self, ah_nest):
+        """The paper's claim: the framework reproduces A&H's partition."""
+        ah = abraham_hudak_partition(ah_nest, 8)
+        fw = optimize_rectangular(
+            partition_references(ah_nest.accesses), ah_nest.space, 8
+        )
+        assert ah.grid == fw.grid
+        assert ah.tile.sides.tolist() == fw.tile.sides.tolist()
+
+    def test_agreement_across_processor_counts(self, ah_nest):
+        for p in (2, 4, 6, 12):
+            ah = abraham_hudak_partition(ah_nest, p)
+            fw = optimize_rectangular(
+                partition_references(ah_nest.accesses), ah_nest.space, p
+            )
+            assert ah.grid == fw.grid, p
+
+    def test_spread_vector(self, ah_nest):
+        ah = abraham_hudak_partition(ah_nest, 8)
+        assert ah.spread.tolist() == [2, 3, 4]
+
+    def test_rejects_multiple_arrays(self, example2_nest):
+        with pytest.raises(PartitionError):
+            abraham_hudak_partition(example2_nest, 4)
+
+    def test_rejects_non_identity_g(self):
+        nest = compile_nest(
+            "Doall (i, 1, 8)\n Doall (j, 1, 8)\n  A[i+j,j] = A[i,j]\n EndDoall\nEndDoall\n"
+        )
+        with pytest.raises(PartitionError):
+            abraham_hudak_partition(nest, 4)
+
+    def test_rejects_matmul(self, matmul_nest):
+        """Section 2.1: matmul does not fit A&H's restrictions."""
+        with pytest.raises(PartitionError):
+            abraham_hudak_partition(matmul_nest, 4)
+
+    def test_infeasible_p(self, ah_nest):
+        with pytest.raises(PartitionError):
+            abraham_hudak_partition(ah_nest, 10**9)
+
+
+class TestRamanujamSadayappan:
+    def test_example2_exists(self, example2_nest):
+        rs = communication_free_hyperplanes(example2_nest)
+        assert rs.exists
+        assert rs.degrees_of_freedom == 1
+        assert rs.hyperplanes[0] @ np.array([4, 0]) == 0
+
+    def test_example2_data_hyperplanes(self, example2_nest):
+        rs = communication_free_hyperplanes(example2_nest)
+        # B's data hyperplane for h=(0,±1): q = ±(1/2, -1/2)
+        qs = rs.data_hyperplanes["B"]
+        assert len(qs) == 1
+        q = qs[0]
+        assert abs(q[0]) == Fraction(1, 2) and q[1] == -q[0]
+
+    def test_example10_no_partition(self, example10_nest):
+        rs = communication_free_hyperplanes(example10_nest)
+        assert not rs.exists
+        assert rs.degrees_of_freedom == 0
+
+    def test_private_nest_fully_free(self):
+        nest = compile_nest(
+            "Doall (i, 1, 8)\n Doall (j, 1, 8)\n  A[i,j] = A[i,j]\n EndDoall\nEndDoall\n"
+        )
+        rs = communication_free_hyperplanes(nest)
+        assert rs.degrees_of_freedom == 2
+
+    def test_accepts_uisets(self, example2_nest):
+        sets = partition_references(example2_nest.accesses)
+        rs = communication_free_hyperplanes(sets, depth=2)
+        assert rs.exists
+
+    def test_data_hyperplane_consistency(self):
+        """q must satisfy G qᵀ = hᵀ."""
+        g = np.array([[1, 1], [1, -1]])
+        h = np.array([0, 1])
+        q = data_hyperplane(g, h)
+        assert q is not None
+        got = [sum(Fraction(int(g[r, c])) * q[c] for c in range(2)) for r in range(2)]
+        assert got == [Fraction(0), Fraction(1)]
+
+    def test_data_hyperplane_inconsistent(self):
+        # G rows dependent; h outside the column span
+        assert data_hyperplane([[1, 1], [2, 2]], [1, 0]) is None
+
+
+class TestNaive:
+    def test_rows(self):
+        sp = IterationSpace([1, 1], [12, 12])
+        tile, grid = rows_partition(sp, 4)
+        assert grid == (4, 1)
+        assert tile.sides.tolist() == [3, 12]
+
+    def test_cols(self):
+        sp = IterationSpace([1, 1], [12, 12])
+        tile, grid = cols_partition(sp, 4)
+        assert grid == (1, 4)
+        assert tile.sides.tolist() == [12, 3]
+
+    def test_square(self):
+        sp = IterationSpace([1, 1], [12, 12])
+        tile, grid = square_partition(sp, 4)
+        assert grid == (2, 2)
+        assert tile.sides.tolist() == [6, 6]
+
+    def test_square_3d(self):
+        sp = IterationSpace([1, 1, 1], [8, 8, 8])
+        tile, grid = square_partition(sp, 8)
+        assert grid == (2, 2, 2)
+
+    def test_strip_validation(self):
+        sp = IterationSpace([1, 1], [4, 4])
+        with pytest.raises(PartitionError):
+            strip_partition(sp, 8, 0)
+        with pytest.raises(PartitionError):
+            strip_partition(sp, 2, 5)
+
+    def test_square_infeasible(self):
+        sp = IterationSpace([1], [2])
+        with pytest.raises(PartitionError):
+            square_partition(sp, 5)

@@ -1,0 +1,104 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EX8 = """
+Doall (i, 1, N)
+  Doall (j, 1, N)
+    Doall (k, 1, N)
+      A(i,j,k) = B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)
+    EndDoall
+  EndDoall
+EndDoall
+"""
+
+
+@pytest.fixture
+def ex8_file(tmp_path):
+    f = tmp_path / "ex8.doall"
+    f.write_text(EX8)
+    return str(f)
+
+
+def run_cli(args):
+    buf = io.StringIO()
+    code = main(args, out=buf)
+    return code, buf.getvalue()
+
+
+class TestCLI:
+    def test_basic_report(self, ex8_file):
+        code, out = run_cli([ex8_file, "-p", "8", "-D", "N=24"])
+        assert code == 0
+        assert "tile sides: [12, 12, 12]" in out
+        assert "grid: (2, 2, 2)" in out
+        assert "spread=[2, 3, 4]" in out
+
+    def test_simulate(self, ex8_file):
+        code, out = run_cli([ex8_file, "-p", "8", "-D", "N=12", "--simulate"])
+        assert code == 0
+        assert "mean misses/processor" in out
+
+    def test_pseudocode(self, ex8_file):
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--pseudocode", "0"]
+        )
+        assert code == 0
+        assert "// processor 0" in out
+        assert "for i = 1 to 6" in out
+
+    def test_data_flag(self, ex8_file):
+        code, out = run_cli([ex8_file, "-p", "8", "-D", "N=24", "--data"])
+        assert code == 0
+        assert "data-partitioning (a+) tile" in out
+
+    def test_unbound_symbol_is_error(self, ex8_file):
+        code, out = run_cli([ex8_file, "-p", "8"])
+        assert code == 1
+        assert "error:" in out
+
+    def test_bad_define(self, ex8_file):
+        with pytest.raises(SystemExit):
+            run_cli([ex8_file, "-D", "N"])
+        with pytest.raises(SystemExit):
+            run_cli([ex8_file, "-D", "N=abc"])
+
+    def test_parse_error_reported(self, tmp_path):
+        f = tmp_path / "bad.doall"
+        f.write_text("Doall (i, 1, 4)\n A[i] =\n")
+        code, out = run_cli([str(f)])
+        assert code == 1
+        assert "error:" in out
+
+    def test_comm_free_reported(self, tmp_path):
+        f = tmp_path / "ex2.doall"
+        f.write_text(
+            "Doall (i, 101, 200)\n"
+            " Doall (j, 1, 100)\n"
+            "  A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3]\n"
+            " EndDoall\n"
+            "EndDoall\n"
+        )
+        code, out = run_cli([str(f), "-p", "100"])
+        assert code == 0
+        assert "communication-free hyperplane normals: [[0, 1]]" in out
+        assert "communication-free: True" in out
+
+    def test_parser_builds(self):
+        p = build_parser()
+        ns = p.parse_args(["x.doall", "-p", "2"])
+        assert ns.processors == 2
+
+    def test_multiple_nests_note(self, tmp_path):
+        f = tmp_path / "two.doall"
+        f.write_text(
+            "Doall (i, 1, 8)\n A[i] = B[i]\nEndDoall\n"
+            "Doall (j, 1, 8)\n C[j] = D[j]\nEndDoall\n"
+        )
+        code, out = run_cli([str(f), "-p", "2"])
+        assert code == 0
+        assert "2 nests found" in out

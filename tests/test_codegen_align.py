@@ -1,0 +1,121 @@
+"""Tests for data partitioning / alignment / placement (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.align import aligned_address_map, array_extents
+from repro.codegen.placement import (
+    average_neighbor_distance,
+    embed_grid_random,
+    embed_grid_row_major,
+)
+from repro.core import RectangularTile
+from repro.exceptions import PartitionError
+from repro.lang import compile_nest
+from repro.sim import simulate_nest
+
+
+@pytest.fixture
+def stencil_nest():
+    return compile_nest(
+        """
+        Doall (i, 1, 16)
+          Doall (j, 1, 16)
+            A[i,j] = B[i-1,j] + B[i+1,j]
+          EndDoall
+        EndDoall
+        """
+    )
+
+
+class TestArrayExtents:
+    def test_stencil(self, stencil_nest):
+        lo, hi = array_extents(stencil_nest, "B")
+        assert lo.tolist() == [0, 1]
+        assert hi.tolist() == [17, 16]
+        lo, hi = array_extents(stencil_nest, "A")
+        assert lo.tolist() == [1, 1] and hi.tolist() == [16, 16]
+
+    def test_skewed_ref(self, example2_nest):
+        lo, hi = array_extents(example2_nest, "B")
+        assert lo.tolist() == [102, 0]   # i+j at (101,1); i-j-1 at (101,100)
+        assert hi.tolist() == [304, 202]
+
+    def test_unknown_array(self, stencil_nest):
+        with pytest.raises(PartitionError):
+            array_extents(stencil_nest, "Z")
+
+
+class TestAlignedAddressMap:
+    def test_all_misses_local_when_aligned(self, stencil_nest):
+        tile = RectangularTile([4, 16])
+        grid = (4, 1)
+        am = aligned_address_map(stencil_nest, tile, grid, 4)
+        r = simulate_nest(stencil_nest, tile, 4, address_map=am)
+        local = sum(p.local_misses for p in r.processors)
+        remote = sum(p.remote_misses for p in r.processors)
+        # Only tile-boundary B rows can be remote; the bulk must be local.
+        assert local > 0.8 * (local + remote)
+
+    def test_better_than_interleaved(self, stencil_nest):
+        tile = RectangularTile([4, 16])
+        am = aligned_address_map(stencil_nest, tile, (4, 1), 4)
+        aligned = simulate_nest(stencil_nest, tile, 4, address_map=am)
+        flat = simulate_nest(stencil_nest, tile, 4)
+        a_remote = sum(p.remote_misses for p in aligned.processors)
+        f_remote = sum(p.remote_misses for p in flat.processors)
+        assert a_remote < f_remote
+
+    def test_grid_mismatch_rejected(self, stencil_nest):
+        with pytest.raises(PartitionError):
+            aligned_address_map(stencil_nest, RectangularTile([4, 16]), (4,), 4)
+
+    def test_custom_proc_mapping(self, stencil_nest):
+        tile = RectangularTile([4, 16])
+        reverse = lambda coord: 3 - coord[0]
+        am = aligned_address_map(
+            stencil_nest, tile, (4, 1), 4, proc_of_coord=reverse
+        )
+        # Block 0 of A now lives on node 3.
+        assert am.home("A", (1, 1)) == 3
+
+    def test_2d_grid(self, stencil_nest):
+        tile = RectangularTile([8, 8])
+        am = aligned_address_map(stencil_nest, tile, (2, 2), 4)
+        homes = {am.home("A", (i, j)) for i in (1, 16) for j in (1, 16)}
+        assert homes == {0, 1, 2, 3}
+
+
+class TestPlacement:
+    def test_row_major_exact_grid(self):
+        emb = embed_grid_row_major((4, 4))
+        assert emb[(0, 0)] == 0 and emb[(3, 3)] == 15
+        assert average_neighbor_distance((4, 4), emb) == 1.0
+
+    def test_random_worse_than_row_major(self):
+        grid = (4, 4)
+        rm = average_neighbor_distance(grid, embed_grid_row_major(grid))
+        rnd = average_neighbor_distance(grid, embed_grid_random(grid, seed=3))
+        assert rm <= rnd
+
+    def test_random_is_permutation(self):
+        emb = embed_grid_random((2, 3), seed=1)
+        assert sorted(emb.values()) == list(range(6))
+
+    def test_row_major_nonmatching_mesh(self):
+        emb = embed_grid_row_major((8, 2))  # mesh will be 4x4
+        assert sorted(emb.values()) == list(range(16))
+
+    def test_3d_grid(self):
+        emb = embed_grid_row_major((2, 2, 2))
+        assert len(emb) == 8
+        d = average_neighbor_distance((2, 2, 2), emb)
+        assert d > 0
+
+    def test_mesh_too_small(self):
+        with pytest.raises(PartitionError):
+            embed_grid_row_major((4, 4), mesh_shape=(2, 2))
+
+    def test_single_processor(self):
+        emb = embed_grid_row_major((1,))
+        assert average_neighbor_distance((1,), emb) == 0.0

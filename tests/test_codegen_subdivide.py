@@ -1,0 +1,110 @@
+"""Tests for cache-driven tile subdivision (Section 2.2's small-cache remark)."""
+
+import numpy as np
+import pytest
+
+from repro._util import box_points_array
+from repro.codegen import blocked_iteration_order, subdivide_for_cache
+from repro.core import (
+    AffineRef,
+    RectangularTile,
+    cumulative_footprint_size_exact,
+    partition_references,
+)
+from repro.exceptions import PartitionError
+from repro.sim import Machine, MachineConfig
+
+
+I2 = np.eye(2, dtype=np.int64)
+
+
+def stencil_refs():
+    return [
+        AffineRef("B", I2, [0, 0]),
+        AffineRef("B", I2, [2, 0]),
+    ]
+
+
+class TestSubdivide:
+    def test_fits_capacity(self):
+        refs = stencil_refs()
+        sub = subdivide_for_cache(refs, RectangularTile([16, 16]), 60)
+        sets = partition_references(refs)
+        fp = sum(cumulative_footprint_size_exact(s, sub) for s in sets)
+        assert fp <= 60
+
+    def test_noop_when_already_fits(self):
+        refs = stencil_refs()
+        sub = subdivide_for_cache(refs, RectangularTile([4, 4]), 1000)
+        assert sub.sides.tolist() == [4, 4]
+
+    def test_aspect_ratio_roughly_preserved(self):
+        """Halving the largest side keeps the ratio within a factor 2 —
+        'the optimal loop partition aspect ratios do not change'."""
+        refs = stencil_refs()
+        tile = RectangularTile([32, 8])  # ratio 4
+        sub = subdivide_for_cache(refs, tile, 80)
+        ratio = sub.sides[0] / sub.sides[1]
+        assert 1.9 <= ratio <= 8.1
+
+    def test_impossible_capacity(self):
+        refs = stencil_refs()
+        # unit-tile footprint of {B[i,j], B[i+2,j]} is 2 elements
+        with pytest.raises(PartitionError):
+            subdivide_for_cache(refs, RectangularTile([4, 4]), 1)
+        with pytest.raises(PartitionError):
+            subdivide_for_cache(refs, RectangularTile([4, 4]), 0)
+
+    def test_accepts_uisets(self):
+        sets = partition_references(stencil_refs())
+        sub = subdivide_for_cache(sets, RectangularTile([16, 16]), 60)
+        assert sub.iterations <= 60
+
+
+class TestBlockedOrder:
+    def test_permutation(self):
+        its = box_points_array([0, 0], [7, 7])
+        out = blocked_iteration_order(its, RectangularTile([4, 4]))
+        assert out.shape == its.shape
+        assert np.array_equal(
+            np.unique(out, axis=0), np.unique(its, axis=0)
+        )
+
+    def test_groups_contiguous(self):
+        its = box_points_array([0, 0], [7, 7])
+        out = blocked_iteration_order(its, RectangularTile([4, 4]))
+        blocks = (out // 4)
+        # block index changes at most 3 times (4 blocks)
+        changes = np.sum(np.any(np.diff(blocks, axis=0) != 0, axis=1))
+        assert changes == 3
+
+    def test_empty(self):
+        its = np.empty((0, 2), dtype=np.int64)
+        out = blocked_iteration_order(its, RectangularTile([2, 2]))
+        assert out.shape == (0, 2)
+
+    def test_respects_origin(self):
+        its = box_points_array([1, 1], [4, 4])
+        out = blocked_iteration_order(its, RectangularTile([2, 2]), origin=[1, 1])
+        assert out[0].tolist() == [1, 1]
+
+    def test_reduces_capacity_misses(self):
+        """When the stencil's streaming window exceeds the cache, the
+        sub-tile order thrashes far less than plain row-major order —
+        the point of the Section 2.2 small-cache adjustment."""
+        refs = stencil_refs()
+        its = box_points_array([0, 0], [15, 15])
+        cap = 24  # smaller than the 3-row window (48) row-major needs
+        sub = subdivide_for_cache(refs, RectangularTile([16, 16]), cap)
+
+        def run(order) -> int:
+            m = Machine(MachineConfig(processors=1, cache_capacity=cap))
+            for it in order:
+                for r in refs:
+                    c = tuple(int(x) for x in r(it))
+                    m.access(0, "B", c, "read")
+            return m.directory.stats.capacity_misses
+
+        blocked = run(blocked_iteration_order(its, sub))
+        rowmajor = run(its)
+        assert blocked < rowmajor

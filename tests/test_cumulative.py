@@ -1,0 +1,222 @@
+"""Tests for cumulative footprints (Section 3.5, Theorems 2 & 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.affine import AffineRef
+from repro.core.classify import UISet, partition_references
+from repro.core.cumulative import (
+    cumulative_footprint_rect,
+    cumulative_footprint_size,
+    cumulative_footprint_size_exact,
+    loop_footprint_size,
+    spread_coefficients,
+)
+from repro.core.tiles import ParallelepipedTile, RectangularTile
+from repro.exceptions import SingularMatrixError
+
+
+def uiset(array, g, offsets):
+    return partition_references([AffineRef(array, g, o) for o in offsets])[0]
+
+
+GB2 = [[1, 1], [1, -1]]  # Example 2/10's B matrix
+
+
+class TestSpreadCoefficients:
+    def test_example10_b(self):
+        s = uiset("B", GB2, [[0, 0], [4, 2]])
+        assert spread_coefficients(s).tolist() == [3.0, 1.0]
+
+    def test_example10_c(self):
+        gc = [[1, 2, 1], [0, 0, 2]]
+        s = uiset("C", gc, [[0, 0, -1], [0, 0, 1]])
+        assert spread_coefficients(s).tolist() == [0.0, 1.0]
+
+    def test_example8(self):
+        s = uiset("B", np.eye(3, dtype=int), [[-1, 0, 1], [0, 1, 0], [1, -2, -3]])
+        assert spread_coefficients(s).tolist() == [2.0, 3.0, 4.0]
+
+    def test_fractional(self):
+        s = uiset("A", [[2]], [[0], [2]])
+        assert spread_coefficients(s).tolist() == [1.0]
+
+    def test_dependent_rows_raise(self):
+        s = uiset("A", [[1], [1]], [[0], [1]])
+        with pytest.raises(SingularMatrixError):
+            spread_coefficients(s)
+
+
+class TestTheorem4:
+    def test_example2_values(self):
+        s = uiset("B", GB2, [[0, -1], [4, 3]])
+        assert cumulative_footprint_rect(s, RectangularTile([100, 1])) == 104.0
+        assert cumulative_footprint_rect(s, RectangularTile([10, 10])) == 140.0
+
+    def test_example10_b_expression(self):
+        """(L_i+1)(L_j+1) + 3(L_j+1) + (L_i+1) with sides = λ+1."""
+        s = uiset("B", GB2, [[0, 0], [4, 2]])
+        si, sj = 6, 8
+        got = cumulative_footprint_rect(s, RectangularTile([si, sj]))
+        assert got == si * sj + 3 * sj + 1 * si
+
+    def test_example10_c_expression(self):
+        gc = [[1, 2, 1], [0, 0, 2]]
+        s = uiset("C", gc, [[0, 0, -1], [0, 0, 1]])
+        si, sj = 6, 8
+        got = cumulative_footprint_rect(s, RectangularTile([si, sj]))
+        assert got == si * sj + si  # (L_i+1)(L_j+1) + (L_i+1)
+
+    def test_single_ref_is_tile(self):
+        s = uiset("A", np.eye(2, dtype=int), [[0, 0]])
+        assert cumulative_footprint_rect(s, RectangularTile([4, 5])) == 20.0
+
+    def test_overestimates_exact_slightly(self):
+        """Theorem 4 drops Lemma 3's −Πu cross term, so it over-counts."""
+        s = uiset("B", GB2, [[0, 0], [4, 2]])
+        t = RectangularTile([10, 10])
+        approx = cumulative_footprint_rect(s, t)
+        exact = cumulative_footprint_size_exact(s, t)
+        assert approx >= exact
+        assert approx - exact == 3 * 1  # the dropped Π|u_i| term
+
+
+class TestTheorem2:
+    def test_rect_tile_agrees_with_thm4_g_identity(self):
+        s = uiset("B", np.eye(2, dtype=int), [[0, 0], [2, 1]])
+        t = RectangularTile([10, 5])
+        thm2 = cumulative_footprint_size(s, t)
+        # LG = diag(10,5); dets: 50 + 2*5 + 1*10 = 70
+        assert thm2 == pytest.approx(70.0)
+
+    def test_figure7_example(self):
+        """Section 3.5's worked cumulative footprint for Example 6."""
+        g = [[1, 0], [1, 1]]
+        s = uiset("B", g, [[0, 0], [1, 2]])
+        lm = np.array([[7, 3], [2, 9]])
+        t = ParallelepipedTile(lm)
+        lg = lm @ np.array(g)
+        expected = abs(np.linalg.det(lg))
+        for i in range(2):
+            m = lg.astype(float).copy()
+            m[i] = [1, 2]
+            expected += abs(np.linalg.det(m))
+        assert cumulative_footprint_size(s, t) == pytest.approx(expected)
+
+    def test_close_to_exact_for_large_tiles(self):
+        g = [[1, 0], [1, 1]]
+        s = uiset("B", g, [[0, 0], [1, 2]])
+        t = ParallelepipedTile([[20, 0], [0, 20]])
+        approx = cumulative_footprint_size(s, t)
+        exact = cumulative_footprint_size_exact(s, t)
+        assert abs(approx - exact) / exact < 0.15
+
+    def test_dependent_rows_raise(self):
+        s = uiset("A", [[1], [1]], [[0], [1]])
+        with pytest.raises(SingularMatrixError):
+            cumulative_footprint_size(s, RectangularTile([3, 3]))
+
+
+class TestExact:
+    def test_example2_strip_and_block(self):
+        s = uiset("B", GB2, [[0, -1], [4, 3]])
+        assert cumulative_footprint_size_exact(s, RectangularTile([100, 1])) == 104
+        assert cumulative_footprint_size_exact(s, RectangularTile([10, 10])) == 140
+
+    def test_disjoint_translates_add(self):
+        s = uiset("A", [[2]], [[0], [4]])
+        t = RectangularTile([2])
+        # footprints {0,2} and {4,6}: disjoint
+        assert cumulative_footprint_size_exact(s, t) == 4
+
+    def test_enumeration_matches_bounded_lattice_path(self):
+        s = uiset("B", GB2, [[0, -1], [4, 3]])
+        t = RectangularTile([10, 10])
+        fast = cumulative_footprint_size_exact(s, t)
+        # brute force through iteration enumeration
+        its = t.enumerate_iterations()
+        pts = set()
+        for r in s.refs:
+            pts |= {tuple(p) for p in r.map_points(its).tolist()}
+        assert fast == len(pts)
+
+    def test_singular_g_class(self):
+        gc = [[1, 2, 1], [0, 0, 2]]
+        s = uiset("C", gc, [[0, 0, -1], [0, 0, 1]])
+        t = RectangularTile([5, 7])
+        its = t.enumerate_iterations()
+        pts = set()
+        for r in s.refs:
+            pts |= {tuple(p) for p in r.map_points(its).tolist()}
+        assert cumulative_footprint_size_exact(s, t) == len(pts)
+
+    def test_parallelepiped_tile_enumeration(self):
+        g = [[1, 0], [1, 1]]
+        s = uiset("B", g, [[0, 0], [1, 2]])
+        t = ParallelepipedTile([[5, 5], [7, 0]])
+        its = t.enumerate_iterations(closed=True)
+        pts = set()
+        for r in s.refs:
+            pts |= {tuple(p) for p in r.map_points(its).tolist()}
+        assert cumulative_footprint_size_exact(s, t) == len(pts)
+
+    @given(
+        st.lists(st.lists(st.integers(-2, 2), min_size=2, max_size=2), min_size=2, max_size=2),
+        st.lists(
+            st.lists(st.integers(-3, 3), min_size=2, max_size=2),
+            min_size=2,
+            max_size=4,
+        ),
+        st.lists(st.integers(1, 5), min_size=2, max_size=2),
+    )
+    def test_exact_vs_bruteforce_random(self, g, offsets, sides):
+        from repro._util import int_rank
+
+        g = np.array(g)
+        if int_rank(g) < 2:
+            return
+        refs = [AffineRef("X", g, o) for o in offsets]
+        sets = partition_references(refs)
+        t = RectangularTile(sides)
+        its = t.enumerate_iterations()
+        total_exact = sum(cumulative_footprint_size_exact(s, t) for s in sets)
+        pts = set()
+        for r in refs:
+            pts |= {tuple(p) for p in r.map_points(its).tolist()}
+        # classes may slightly overlap only if non-uniformly-intersecting
+        # footprints collide; for same-G refs classes are exact cosets, so:
+        assert total_exact == len(pts)
+
+
+class TestLoopFootprint:
+    def test_sums_classes(self, example9_nest):
+        t = RectangularTile([6, 6])
+        total = loop_footprint_size(list(example9_nest.accesses), t, method="exact")
+        sets = partition_references(example9_nest.accesses)
+        assert total == sum(cumulative_footprint_size_exact(s, t) for s in sets)
+
+    def test_accepts_uisets(self, example9_nest):
+        t = RectangularTile([6, 6])
+        sets = partition_references(example9_nest.accesses)
+        assert loop_footprint_size(sets, t) == loop_footprint_size(
+            list(example9_nest.accesses), t
+        )
+
+    def test_theorem4_method(self, example9_nest):
+        t = RectangularTile([6, 6])
+        v = loop_footprint_size(list(example9_nest.accesses), t, method="theorem4")
+        # A: 36; B: 36 + 2*6 + 1*6 = 54; C: 36 + 2*6 + 3*6 = 66
+        assert v == 36 + 54 + 66
+
+    def test_theorem4_requires_rect(self, example9_nest):
+        t = ParallelepipedTile([[2, 1], [0, 3]])
+        with pytest.raises(TypeError):
+            loop_footprint_size(list(example9_nest.accesses), t, method="theorem4")
+
+    def test_unknown_method(self, example9_nest):
+        with pytest.raises(ValueError):
+            loop_footprint_size(
+                list(example9_nest.accesses), RectangularTile([2, 2]), method="bogus"
+            )

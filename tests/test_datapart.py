@@ -1,0 +1,156 @@
+"""Tests for data partitioning (footnote 2: the a⁺ formulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AffineRef,
+    IterationSpace,
+    optimize_rectangular,
+    optimize_rectangular_data,
+    partition_references,
+)
+from repro.core.datapart import (
+    data_cost_coefficients,
+    data_spread_coefficients,
+    median_reference,
+)
+from repro.exceptions import OptimizationError, SingularMatrixError
+from repro.sim import simulate_nest
+
+
+I2 = np.eye(2, dtype=np.int64)
+
+
+def cls(offsets, g=None):
+    g = I2 if g is None else g
+    return partition_references([AffineRef("B", g, o) for o in offsets])[0]
+
+
+class TestDataSpreadCoefficients:
+    def test_two_refs_equal_cache_spread(self):
+        """â == a⁺ for pairs: loop- and data-partitions coincide."""
+        s = cls([[0, 0], [4, 2]])
+        assert data_spread_coefficients(s).tolist() == [4.0, 2.0]
+
+    def test_three_refs_still_equal(self):
+        """For 3 members the median absorbs the middle: still equal."""
+        from repro.core.cumulative import spread_coefficients
+
+        s = cls([[-1, 0], [0, 1], [1, -2]])
+        assert np.array_equal(
+            data_spread_coefficients(s), spread_coefficients(s)
+        )
+
+    def test_four_refs_exceed_cache_spread(self):
+        """â=(9,0) but a⁺=(10,0): the two interior copies pay too."""
+        s = cls([[0, 0], [1, 0], [2, 0], [9, 0]])
+        # med = 1.5 -> |0-1.5|+|1-1.5|+|2-1.5|+|9-1.5| = 10
+        assert data_spread_coefficients(s).tolist() == [10.0, 0.0]
+        from repro.core.cumulative import spread_coefficients
+
+        assert spread_coefficients(s).tolist() == [9.0, 0.0]
+
+    def test_nonidentity_g(self):
+        s = cls([[0, 0], [4, 2]], g=[[1, 1], [1, -1]])
+        assert data_spread_coefficients(s).tolist() == [3.0, 1.0]
+
+    def test_dependent_rows_raise(self):
+        s = cls([[0], [1]], g=[[1], [1]])
+        with pytest.raises(SingularMatrixError):
+            data_spread_coefficients(s)
+
+
+class TestMedianReference:
+    def test_picks_central_member(self):
+        s = cls([[0, 0], [1, 0], [2, 0], [9, 0]])
+        m = median_reference(s)
+        assert m.offset[0] in (1, 2)  # closest to median 1.5
+
+    def test_single_ref(self):
+        s = cls([[5, 5]])
+        assert median_reference(s).offset.tolist() == [5, 5]
+
+
+class TestOptimizeData:
+    def nest_sets(self, offsets):
+        refs = [AffineRef("A", I2, [0, 0])] + [
+            AffineRef("B", I2, o) for o in offsets
+        ]
+        return partition_references(refs)
+
+    def test_matches_cache_optimum_for_pairs(self):
+        sets = self.nest_sets([[0, 0], [2, 1]])
+        space = IterationSpace([1, 1], [24, 24])
+        cache = optimize_rectangular(sets, space, 4)
+        data = optimize_rectangular_data(sets, space, 4)
+        assert cache.grid == data.grid
+
+    def test_diverges_with_many_copies(self):
+        """Offsets (0,0),(1,0),(2,0),(9,0) along i and (0,0),(0,4) along j:
+        cache coefficients (9, 4); data coefficients (10, 4) — both favour
+        wide-i tiles, but with different strengths.  Check coefficients."""
+        refs = [
+            AffineRef("B", I2, [0, 0]),
+            AffineRef("B", I2, [1, 0]),
+            AffineRef("B", I2, [2, 0]),
+            AffineRef("B", I2, [9, 0]),
+            AffineRef("C", I2, [0, 0]),
+            AffineRef("C", I2, [0, 4]),
+        ]
+        sets = partition_references(refs)
+        from repro.core.optimize import rect_cost_coefficients
+
+        assert rect_cost_coefficients(sets, 2).tolist() == [9.0, 4.0]
+        assert data_cost_coefficients(sets, 2).tolist() == [10.0, 4.0]
+
+    def test_no_traffic_fallback(self):
+        sets = partition_references([AffineRef("A", I2, [0, 0])])
+        space = IterationSpace([1, 1], [8, 8])
+        res = optimize_rectangular_data(sets, space, 4)
+        assert res.grid[0] * res.grid[1] == 4
+
+    def test_too_many_processors(self):
+        sets = partition_references([AffineRef("A", I2, [0, 0])])
+        with pytest.raises(OptimizationError):
+            optimize_rectangular_data(sets, IterationSpace([1, 1], [4, 4]), 10**6)
+
+
+class TestLocalMemorySimulation:
+    """cache_enabled=False: the footnote-2 machine (no dynamic copying)."""
+
+    def test_every_access_pays(self):
+        from repro.core import LoopNest, RectangularTile
+
+        nest = LoopNest.from_subscripts(
+            {"i": (1, 8), "j": (1, 8)},
+            [("A", [{"i": 1}, {"j": 1}], "write"),
+             ("B", [{"i": 1}, {"j": 1}], "read"),
+             ("B", [{"i": 1}, {"j": 1}], "read")],
+        )
+        r = simulate_nest(nest, RectangularTile([4, 4]), 4, cache_enabled=False)
+        # 3 accesses per iteration, 64 iterations: all are "misses".
+        assert r.total_misses == 3 * 64
+        # Repeat references are NOT free without a cache.
+        cached = simulate_nest(nest, RectangularTile([4, 4]), 4)
+        assert cached.total_misses < r.total_misses
+
+    def test_aligned_data_partition_minimises_remote(self):
+        from repro.codegen import aligned_address_map
+        from repro.core import LoopNest, RectangularTile
+
+        nest = LoopNest.from_subscripts(
+            {"i": (1, 8), "j": (1, 8)},
+            [("A", [{"i": 1}, {"j": 1}], "write"),
+             ("A", [{"i": 1}, {"j": 1}], "read")],
+        )
+        tile = RectangularTile([4, 4])
+        am = aligned_address_map(nest, tile, (2, 2), 4)
+        aligned = simulate_nest(
+            nest, tile, 4, cache_enabled=False, address_map=am
+        )
+        flat = simulate_nest(nest, tile, 4, cache_enabled=False)
+        a_remote = sum(p.remote_misses for p in aligned.processors)
+        f_remote = sum(p.remote_misses for p in flat.processors)
+        assert a_remote == 0  # perfectly aligned: everything local
+        assert f_remote > 0

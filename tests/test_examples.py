@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example script runs green end to end.
+
+The examples are deliverables, not decoration — each asserts its own
+paper claims internally (104/140, blocks-beat-rows, skew-beats-rect...),
+so "exits 0" is a meaningful check.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert len(SCRIPTS) >= 5
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_small_args():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "12", "4"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "predicted == measured" in proc.stdout
+
+
+def test_cli_module_invocation(tmp_path):
+    src = tmp_path / "p.doall"
+    src.write_text(
+        "Doall (i, 1, 16)\n Doall (j, 1, 16)\n"
+        "  A[i,j] = B[i-1,j] + B[i+1,j]\n EndDoall\nEndDoall\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", str(src), "-p", "4"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "tile sides" in proc.stdout

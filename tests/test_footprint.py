@@ -1,0 +1,212 @@
+"""Tests for single-reference footprints (Section 3.4, Theorems 1 & 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import int_rank
+from repro.core.affine import AffineRef
+from repro.core.footprint import (
+    footprint_det_size,
+    footprint_points,
+    footprint_size,
+    footprint_size_exact,
+    footprint_size_theorem1,
+)
+from repro.core.tiles import ParallelepipedTile, RectangularTile
+
+
+class TestExactOracle:
+    def test_identity(self):
+        ref = AffineRef("A", [[1, 0], [0, 1]], [0, 0])
+        assert footprint_size_exact(ref, RectangularTile([3, 4])) == 12
+
+    def test_offset_does_not_matter(self):
+        t = RectangularTile([3, 4])
+        a = AffineRef("A", [[1, 0], [0, 1]], [0, 0])
+        b = AffineRef("A", [[1, 0], [0, 1]], [7, -2])
+        assert footprint_size_exact(a, t) == footprint_size_exact(b, t)
+
+    def test_points_unique(self):
+        ref = AffineRef("A", [[1], [1]], [0])
+        pts = footprint_points(ref, RectangularTile([3, 3]))
+        assert pts.shape == (5, 1)  # i+j over 3x3 half-open: 0..4
+
+
+class TestTheorem5:
+    """Rows of G independent => footprint size == tile iteration count."""
+
+    def test_rect_identity(self):
+        ref = AffineRef("A", [[1, 0], [0, 1]], [0, 0])
+        assert footprint_size(ref, RectangularTile([5, 6])) == 30
+
+    def test_rect_nonsingular_nonunimodular(self):
+        """Example 10's B: G=[[1,1],[1,-1]], det -2, still injective."""
+        ref = AffineRef("B", [[1, 1], [1, -1]], [0, 0])
+        t = RectangularTile([5, 6])
+        assert footprint_size(ref, t) == 30
+        assert footprint_size_exact(ref, t) == 30
+
+    def test_wide_g(self):
+        """Example 10's C: G 2x3 singular columns but independent rows."""
+        ref = AffineRef("C", [[1, 2, 1], [0, 0, 2]], [0, 0, -1])
+        t = RectangularTile([4, 4])
+        assert footprint_size(ref, t) == 16
+        assert footprint_size_exact(ref, t) == 16
+
+    def test_parallelepiped_tile(self):
+        ref = AffineRef("A", [[1, 0], [0, 1]], [0, 0])
+        t = ParallelepipedTile([[3, 3], [4, 0]])
+        # closed tile iteration count
+        expected = t.enumerate_iterations(closed=True).shape[0]
+        assert footprint_size(ref, t) == expected
+
+    @given(
+        st.lists(st.lists(st.integers(-3, 3), min_size=2, max_size=2), min_size=2, max_size=2),
+        st.lists(st.integers(1, 5), min_size=2, max_size=2),
+    )
+    def test_vs_oracle_rect(self, g, sides):
+        g = np.array(g)
+        if int_rank(g) < 2:
+            return
+        ref = AffineRef("A", g, [0, 0])
+        t = RectangularTile(sides)
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t)
+
+
+class TestDependentRows:
+    def test_1d_sum(self):
+        """A[i+j] over a rectangular tile."""
+        ref = AffineRef("A", [[1], [1]], [0])
+        t = RectangularTile([4, 4])
+        assert footprint_size(ref, t) == 7
+        assert footprint_size_exact(ref, t) == 7
+
+    def test_1d_with_strides(self):
+        ref = AffineRef("A", [[2], [3]], [0])
+        t = RectangularTile([5, 4])
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t)
+
+    def test_2d_collapsing(self):
+        """A[i+j, 2i+2j]: rank-1 G with 2-D image."""
+        ref = AffineRef("A", [[1, 2], [1, 2]], [0, 0])
+        t = RectangularTile([3, 3])
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t) == 5
+
+    @given(
+        st.lists(st.integers(-3, 3), min_size=2, max_size=2),
+        st.lists(st.integers(1, 5), min_size=2, max_size=2),
+    )
+    def test_1d_refs_vs_oracle(self, coeffs, sides):
+        ref = AffineRef("A", [[coeffs[0]], [coeffs[1]]], [0])
+        t = RectangularTile(sides)
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t)
+
+
+class TestTheorem1:
+    def test_unimodular_equality(self):
+        """For unimodular G the LG parallelepiped IS the footprint
+        (closed-tile convention)."""
+        ref = AffineRef("B", [[1, 0], [1, 1]], [0, 0])
+        t = ParallelepipedTile([[3, 3], [4, 0]])
+        assert footprint_size_theorem1(ref, t) == footprint_size_exact(
+            ref, t, closed=True
+        )
+
+    def test_example6_expression(self):
+        """Example 6: L=[[L1,L1],[L2,0]], G=[[1,0],[1,1]] ->
+        footprint = L1*L2 + L1 + L2 (+1 boundary closure)."""
+        l1, l2 = 5, 7
+        t = ParallelepipedTile([[l1, l1], [l2, 0]])
+        ref = AffineRef("B", [[1, 0], [1, 1]], [0, 0])
+        assert footprint_size_theorem1(ref, t) == l1 * l2 + l1 + l2 + 1
+
+    def test_nonunimodular_overcounts(self):
+        """A[2i]: LG counts integer points the footprint misses."""
+        ref = AffineRef("A", [[2]], [0])
+        t = RectangularTile([5])
+        thm1 = footprint_size_theorem1(ref, t)
+        exact = footprint_size_exact(ref, t, closed=True)
+        assert thm1 > exact
+
+    @given(
+        st.lists(st.lists(st.integers(-2, 2), min_size=2, max_size=2), min_size=2, max_size=2),
+        st.lists(st.integers(1, 4), min_size=2, max_size=2),
+    )
+    def test_unimodular_always_exact(self, g, sides):
+        from repro._util import int_det
+
+        g = np.array(g)
+        if abs(int_det(g)) != 1:
+            return
+        ref = AffineRef("A", g, [0, 0])
+        t = RectangularTile(sides)
+        assert footprint_size_theorem1(ref, t) == footprint_size_exact(
+            ref, t, closed=True
+        )
+
+
+class TestDetEstimate:
+    def test_matches_volume(self):
+        ref = AffineRef("B", [[1, 0], [1, 1]], [0, 0])
+        t = ParallelepipedTile([[5, 5], [7, 0]])
+        assert footprint_det_size(ref, t) == 35.0  # |det LG| = L1*L2
+
+    def test_zero_column_dropped(self):
+        ref = AffineRef("A", [[1, 0], [0, 0]], [0, 5])
+        t = RectangularTile([4, 4])
+        # reduces to 1-D ref A[i]; det path falls back to exact count
+        assert footprint_det_size(ref, t) == footprint_size_exact(ref, t)
+
+    def test_dependent_columns_reduced(self):
+        """Example 7: A[i,2i,i+j] -> |det L G'| with G'=[[1,1],[0,1]]."""
+        ref = AffineRef("A", [[1, 2, 1], [0, 0, 1]], [0, 0, 0])
+        t = RectangularTile([4, 6])
+        assert footprint_det_size(ref, t) == 24.0
+
+
+class TestRank1FastPath:
+    """Dependent-row G with 1-dimensional image: table-served counting."""
+
+    def test_matches_oracle_d2(self):
+        ref = AffineRef("A", [[1, 2], [1, 2]], [0, 0])
+        t = RectangularTile([5, 7])
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t) == 11
+
+    def test_matches_oracle_scaled_rows(self):
+        ref = AffineRef("A", [[2, 4], [3, 6]], [0, 0])
+        t = RectangularTile([5, 7])
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t)
+
+    def test_negative_multiples(self):
+        ref = AffineRef("A", [[-1, -2], [2, 4], [3, 6]], [0, 0])
+        t = RectangularTile([3, 4, 5])
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t)
+
+    @given(
+        st.lists(st.integers(-3, 3), min_size=2, max_size=2),
+        st.lists(st.integers(1, 5), min_size=2, max_size=2),
+    )
+    def test_rank1_random_multiples(self, mults, sides):
+        """Rows c_k * (1, 2): image on a line; table path == oracle."""
+        g = np.array([[m, 2 * m] for m in mults])
+        if not g.any():
+            return
+        ref = AffineRef("A", g, [0, 0])
+        t = RectangularTile(sides)
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t)
+
+
+class TestFerranteReference:
+    """Section 5 item 4: A[i+j+k, 2i+3j+4k] — rank-2 collapse handled."""
+
+    def test_exact(self):
+        ref = AffineRef("A", [[1, 2], [1, 3], [1, 4]], [0, 0])
+        t = RectangularTile([4, 4, 4])
+        assert footprint_size(ref, t) == footprint_size_exact(ref, t)
+
+    def test_smaller_than_tile(self):
+        ref = AffineRef("A", [[1, 2], [1, 3], [1, 4]], [0, 0])
+        t = RectangularTile([6, 6, 6])
+        assert footprint_size(ref, t) < t.iterations

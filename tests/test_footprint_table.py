@@ -1,0 +1,101 @@
+"""Tests for the Section 3.8 footprint table (memoised 1-D counts)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.points import FootprintTable, distinct_values_1d
+
+
+class TestCanonicalKey:
+    def test_sign_invariance(self):
+        k1 = FootprintTable.canonical_key([2, -3], [4, 5])
+        k2 = FootprintTable.canonical_key([2, 3], [4, 5])
+        assert k1 == k2
+
+    def test_order_invariance(self):
+        k1 = FootprintTable.canonical_key([2, 3], [4, 5])
+        k2 = FootprintTable.canonical_key([3, 2], [5, 4])
+        assert k1 == k2
+
+    def test_order_is_paired(self):
+        """Coefficients and extents travel together: swapping extents
+        alone gives a different key."""
+        k1 = FootprintTable.canonical_key([2, 3], [4, 5])
+        k2 = FootprintTable.canonical_key([2, 3], [5, 4])
+        assert k1 != k2
+
+    def test_gcd_factored(self):
+        k1 = FootprintTable.canonical_key([2, 4], [3, 3])
+        k2 = FootprintTable.canonical_key([1, 2], [3, 3])
+        assert k1[0] == k2[0]
+
+    def test_zero_coeffs_dropped(self):
+        k1 = FootprintTable.canonical_key([0, 2], [9, 4])
+        k2 = FootprintTable.canonical_key([2], [4])
+        assert k1 == k2
+
+    def test_zero_extent_dropped(self):
+        k1 = FootprintTable.canonical_key([5, 2], [0, 4])
+        k2 = FootprintTable.canonical_key([2], [4])
+        assert k1 == k2
+
+
+class TestLookup:
+    def test_correctness(self):
+        t = FootprintTable()
+        assert t.lookup([2, 3], [4, 3]) == 16
+        assert t.lookup([1], [9]) == 10
+        assert t.lookup([0, 0], [5, 5]) == 1
+
+    def test_hit_counting(self):
+        t = FootprintTable()
+        t.lookup([2, 3], [4, 3])
+        t.lookup([-3, 2], [3, 4])   # canonically identical
+        t.lookup([4, 6], [4, 3])    # gcd-identical
+        assert t.misses == 1
+        assert t.hits == 2
+        assert len(t) == 1
+
+    def test_distinct_entries(self):
+        t = FootprintTable()
+        t.lookup([2, 3], [4, 3])
+        t.lookup([2, 3], [3, 4])
+        assert len(t) == 2
+
+    @given(
+        st.lists(st.integers(-4, 4), min_size=3, max_size=3),
+        st.lists(st.integers(0, 3), min_size=3, max_size=3),
+    )
+    def test_matches_direct(self, coeffs, ext):
+        t = FootprintTable()
+        direct = distinct_values_1d(coeffs, [0, 0, 0], ext)
+        assert t.lookup(coeffs, ext) == direct
+
+    @given(
+        st.lists(st.integers(-3, 3), min_size=2, max_size=2),
+        st.lists(st.integers(0, 4), min_size=2, max_size=2),
+    )
+    def test_invariances_do_not_change_value(self, coeffs, ext):
+        """Sanity for the canonicalisation argument: sign flips and paired
+        permutations preserve the true count."""
+        base = distinct_values_1d(coeffs, [0, 0], ext)
+        flipped = distinct_values_1d([-c for c in coeffs], [0, 0], ext)
+        swapped = distinct_values_1d(coeffs[::-1], [0, 0], ext[::-1])
+        assert base == flipped == swapped
+
+
+class TestIntegrationWithFootprintSize:
+    def test_used_by_footprint_size(self):
+        from repro.core import AffineRef, RectangularTile, footprint_size
+        from repro.lattice.points import DEFAULT_FOOTPRINT_TABLE
+
+        before = DEFAULT_FOOTPRINT_TABLE.hits + DEFAULT_FOOTPRINT_TABLE.misses
+        r = AffineRef("A", [[3], [5]], [0])
+        t = RectangularTile([4, 4])
+        a = footprint_size(r, t)
+        b = footprint_size(r, t)
+        assert a == b
+        after = DEFAULT_FOOTPRINT_TABLE.hits + DEFAULT_FOOTPRINT_TABLE.misses
+        assert after >= before + 2

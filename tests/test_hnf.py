@@ -1,0 +1,117 @@
+"""Tests for the Hermite normal form (repro.lattice.hnf)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import int_det, int_rank
+from repro.lattice.hnf import hermite_normal_form, row_style_hnf
+from repro.lattice.snf import solve_integer
+
+
+def matrices(rows, cols, lo=-5, hi=5):
+    return st.lists(
+        st.lists(st.integers(lo, hi), min_size=cols, max_size=cols),
+        min_size=rows,
+        max_size=rows,
+    )
+
+
+class TestHNFStructure:
+    def test_known_example(self):
+        res = hermite_normal_form([[2, 4], [1, 3]])
+        assert res.h.tolist() == [[1, 1], [0, 2]]
+        assert res.rank == 2
+
+    def test_transform_relation(self):
+        a = np.array([[2, 4], [1, 3]])
+        res = hermite_normal_form(a)
+        assert np.array_equal(res.u @ a, res.h)
+        assert abs(int_det(res.u)) == 1
+
+    def test_identity_fixed_point(self):
+        res = hermite_normal_form(np.eye(3, dtype=int))
+        assert np.array_equal(res.h, np.eye(3, dtype=int))
+
+    def test_zero_matrix(self):
+        res = hermite_normal_form(np.zeros((2, 3), dtype=int))
+        assert res.rank == 0
+        assert np.all(res.h == 0)
+
+    def test_rank_deficient(self):
+        res = hermite_normal_form([[1, 2], [2, 4], [3, 6]])
+        assert res.rank == 1
+        assert res.h[0].tolist() == [1, 2]
+        assert np.all(res.h[1:] == 0)
+
+    def test_negative_pivot_normalised(self):
+        res = hermite_normal_form([[-3, 0], [0, -5]])
+        assert res.h[0, 0] > 0 and res.h[1, 1] > 0
+
+    def test_above_pivot_reduced(self):
+        res = hermite_normal_form([[1, 7], [0, 3]])
+        # entry above the second pivot must be in [0, 3)
+        p = res.pivots[1]
+        col = p[1]
+        assert 0 <= res.h[0, col] < res.h[p]
+
+    def test_wrapper(self):
+        h = row_style_hnf([[2, 4], [1, 3]])
+        assert h.tolist() == [[1, 1], [0, 2]]
+
+    def test_wide_matrix(self):
+        res = hermite_normal_form([[2, 3, 5]])
+        assert res.rank == 1
+        assert res.h[0, 0] > 0
+
+    def test_tall_matrix(self):
+        res = hermite_normal_form([[2], [3]])
+        assert res.h[0, 0] == 1  # gcd(2,3)
+        assert res.h[1, 0] == 0
+
+
+class TestHNFProperties:
+    @given(matrices(3, 3))
+    def test_unimodular_transform(self, m):
+        a = np.array(m)
+        res = hermite_normal_form(a)
+        assert np.array_equal(res.u @ a, res.h)
+        assert abs(int_det(res.u)) == 1
+
+    @given(matrices(2, 3))
+    def test_rank_preserved(self, m):
+        a = np.array(m)
+        res = hermite_normal_form(a)
+        assert res.rank == int_rank(a)
+
+    @given(matrices(3, 2))
+    def test_echelon_shape(self, m):
+        a = np.array(m)
+        h = hermite_normal_form(a).h
+        # pivot columns strictly increase; rows below pivots are zero
+        last = -1
+        for r in range(h.shape[0]):
+            nz = np.nonzero(h[r])[0]
+            if nz.size == 0:
+                assert np.all(h[r:] == 0)
+                break
+            assert nz[0] > last
+            last = nz[0]
+
+    @given(matrices(2, 2), st.lists(st.integers(-4, 4), min_size=2, max_size=2))
+    def test_row_lattice_preserved(self, m, coeffs):
+        """Any integer combination of A's rows is one of H's rows' lattice
+        and vice versa."""
+        a = np.array(m)
+        h = hermite_normal_form(a).h
+        v = np.array(coeffs) @ a
+        assert solve_integer(h, v) is not None
+        w = np.array(coeffs) @ h
+        assert solve_integer(a, w) is not None
+
+    @given(matrices(3, 3))
+    def test_idempotent(self, m):
+        h = hermite_normal_form(np.array(m)).h
+        h2 = hermite_normal_form(h).h
+        assert np.array_equal(h, h2)

@@ -1,0 +1,157 @@
+"""Tests for AST → loop-nest IR lowering."""
+
+import numpy as np
+import pytest
+
+from repro.core.affine import AccessKind
+from repro.exceptions import LoweringError
+from repro.lang import compile_nest, parse_program
+from repro.lang.lower import lower_nest, lower_program
+
+
+class TestLowering:
+    def test_example1_matrix(self):
+        """Example 1: A(i3+2, 5, i2-1, 4) in a triply nested loop."""
+        nest = compile_nest(
+            """
+            Doall (i1, 1, 4)
+             Doall (i2, 1, 4)
+              Doall (i3, 1, 4)
+               X(i1,i2,i3) = A(i3+2, 5, i2-1, 4)
+              EndDoall
+             EndDoall
+            EndDoall
+            """
+        )
+        a = nest.accesses[1].ref
+        assert a.g.tolist() == [
+            [0, 0, 0, 0],
+            [0, 0, 1, 0],
+            [1, 0, 0, 0],
+        ]
+        assert a.offset.tolist() == [2, 5, -1, 4]
+
+    def test_kinds(self):
+        nest = compile_nest("Doall (i, 1, 4)\n A[i] = B[i] + l$C[i]\nEndDoall\n")
+        kinds = [acc.kind for acc in nest.accesses]
+        assert kinds == [AccessKind.WRITE, AccessKind.READ, AccessKind.SYNC]
+
+    def test_sync_lhs(self):
+        nest = compile_nest("Doall (i, 1, 4)\n l$C[i] = C[i]\nEndDoall\n")
+        assert nest.accesses[0].kind is AccessKind.SYNC
+
+    def test_bindings(self):
+        nest = compile_nest("Doall (i, 1, N)\n A[i] = B[i]\nEndDoall\n", {"N": 7})
+        assert nest.loops[0].upper == 7
+
+    def test_unbound_size_raises(self):
+        with pytest.raises(LoweringError):
+            compile_nest("Doall (i, 1, N)\n A[i] = B[i]\nEndDoall\n")
+
+    def test_unbound_subscript_symbol(self):
+        with pytest.raises(LoweringError):
+            compile_nest("Doall (i, 1, 4)\n A[i+m] = B[i]\nEndDoall\n")
+
+    def test_bound_subscript_symbol_folds(self):
+        nest = compile_nest(
+            "Doall (i, 1, 4)\n A[i+m] = B[i]\nEndDoall\n", {"m": 3}
+        )
+        assert nest.accesses[0].ref.offset.tolist() == [3]
+
+    def test_doseq_outermost(self):
+        nest = compile_nest(
+            "Doseq (t, 1, 3)\n Doall (i, 1, 4)\n  A[i] = B[i]\n EndDoall\nEndDoseq\n"
+        )
+        assert nest.has_sequential_wrapper
+        assert nest.depth == 1
+
+    def test_doseq_inside_doall_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_nest(
+                "Doall (i, 1, 4)\n Doseq (t, 1, 3)\n  A[i] = B[i]\n EndDoseq\nEndDoall\n"
+            )
+
+    def test_doseq_index_in_subscript_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_nest(
+                "Doseq (t, 1, 3)\n Doall (i, 1, 4)\n  A[i+t] = B[i]\n EndDoall\nEndDoseq\n"
+            )
+
+    def test_imperfect_nest_rejected(self):
+        src = """
+        Doall (i, 1, 4)
+          A[i] = B[i]
+          Doall (j, 1, 4)
+            C[i,j] = D[i,j]
+          EndDoall
+        EndDoall
+        """
+        with pytest.raises(LoweringError):
+            compile_nest(src)
+
+    def test_two_inner_loops_rejected(self):
+        src = """
+        Doall (i, 1, 4)
+          Doall (j, 1, 4)
+            A[i,j] = B[i,j]
+          EndDoall
+          Doall (k, 1, 4)
+            C[i,k] = D[i,k]
+          EndDoall
+        EndDoall
+        """
+        with pytest.raises(LoweringError):
+            compile_nest(src)
+
+    def test_multiple_statements(self):
+        nest = compile_nest(
+            "Doall (i, 1, 4)\n A[i] = B[i]\n C[i] = A[i+1]\nEndDoall\n"
+        )
+        assert len(nest.accesses) == 4
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_nest("Doall (i, 1, 4)\nEndDoall\n")
+
+    def test_doseq_only_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_nest("Doseq (t, 1, 4)\n A[t] = B[t]\nEndDoseq\n")
+
+    def test_compile_nest_single_nest_only(self):
+        with pytest.raises(LoweringError):
+            compile_nest(
+                "Doall (i, 1, 2)\n A[i] = B[i]\nEndDoall\n"
+                "Doall (j, 1, 2)\n C[j] = D[j]\nEndDoall\n"
+            )
+
+    def test_lower_program_multiple(self):
+        prog = parse_program(
+            "Doall (i, 1, 2)\n A[i] = B[i]\nEndDoall\n"
+            "Doall (j, 1, 3)\n C[j] = D[j]\nEndDoall\n"
+        )
+        nests = lower_program(prog)
+        assert len(nests) == 2
+        assert nests[1].loops[0].upper == 3
+
+    def test_bound_evaluation_with_expressions(self):
+        nest = compile_nest(
+            "Doall (i, N-1, 2*N)\n A[i] = B[i]\nEndDoall\n", {"N": 5}
+        )
+        assert (nest.loops[0].lower, nest.loops[0].upper) == (4, 10)
+
+    def test_matmul_figure11(self):
+        nest = compile_nest(
+            """
+            Doall (i, 1, 4)
+             Doall (j, 1, 4)
+              Doall (k, 1, 4)
+               l$C[i,j] = l$C[i,j] + A[i,k] * B[k,j]
+              EndDoall
+             EndDoall
+            EndDoall
+            """
+        )
+        c = nest.accesses[0].ref
+        assert c.g.tolist() == [[1, 0], [0, 1], [0, 0]]
+        b = nest.accesses[3].ref
+        assert b.g.tolist() == [[0, 0], [0, 1], [1, 0]]

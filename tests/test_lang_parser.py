@@ -1,0 +1,208 @@
+"""Tests for the Doall-language parser and the affine-expression grammar."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.lang.ast_nodes import (
+    AffineExpr,
+    Assign,
+    BinOp,
+    Const,
+    LoopNode,
+    Neg,
+    RefNode,
+    Scalar,
+    collect_refs,
+)
+from repro.lang.parser import parse_program
+
+
+def one_nest(src):
+    prog = parse_program(src)
+    assert len(prog.nests) == 1
+    return prog.nests[0]
+
+
+class TestLoops:
+    def test_simple_loop(self):
+        loop = one_nest("Doall (i, 1, 10)\n A[i] = B[i]\nEndDoall\n")
+        assert loop.kind == "doall"
+        assert loop.index == "i"
+        assert loop.lower.const == 1
+        assert loop.upper.const == 10
+        assert len(loop.body) == 1
+
+    def test_nested(self):
+        loop = one_nest(
+            "Doall (i, 1, 4)\n Doall (j, 1, 4)\n  A[i,j] = B[i,j]\n EndDoall\nEndDoall\n"
+        )
+        inner = loop.body[0]
+        assert isinstance(inner, LoopNode)
+        assert inner.index == "j"
+
+    def test_doseq(self):
+        loop = one_nest("Doseq (t, 1, T)\n Doall (i, 1, 4)\n  A[i] = B[i]\n EndDoall\nEndDoseq\n")
+        assert loop.kind == "doseq"
+
+    def test_symbolic_bounds(self):
+        loop = one_nest("Doall (i, 1, N)\n A[i] = B[i]\nEndDoall\n")
+        assert loop.upper.coeffs == (("N", 1),)
+
+    def test_expression_bounds(self):
+        loop = one_nest("Doall (i, N+1, 2*N)\n A[i] = B[i]\nEndDoall\n")
+        assert loop.lower.coeff_map() == {"N": 1} and loop.lower.const == 1
+        assert loop.upper.coeff_map() == {"N": 2}
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            parse_program("Doall (i, 1, 4)\n A[i] = B[i]\n")
+
+    def test_empty_program(self):
+        with pytest.raises(ParseError):
+            parse_program("\n\n")
+
+    def test_garbage_in_body(self):
+        with pytest.raises(ParseError):
+            parse_program("Doall (i, 1, 4)\n = 3\nEndDoall\n")
+
+    def test_multiple_nests(self):
+        prog = parse_program(
+            "Doall (i, 1, 2)\n A[i] = B[i]\nEndDoall\n"
+            "Doall (j, 1, 2)\n C[j] = D[j]\nEndDoall\n"
+        )
+        assert len(prog.nests) == 2
+
+
+class TestReferences:
+    def test_brackets_and_parens(self):
+        loop = one_nest("Doall (i, 1, 4)\n A[i] = B(i)\nEndDoall\n")
+        st = loop.body[0]
+        assert st.lhs.array == "A"
+        assert st.rhs_refs[0].array == "B"
+
+    def test_sync_prefix(self):
+        loop = one_nest("Doall (i, 1, 4)\n l$C[i] = l$C[i] + A[i]\nEndDoall\n")
+        st = loop.body[0]
+        assert st.lhs.sync
+        assert st.rhs_refs[0].sync and not st.rhs_refs[1].sync
+
+    def test_mismatched_brackets(self):
+        with pytest.raises(ParseError):
+            parse_program("Doall (i, 1, 4)\n A[i) = B[i]\nEndDoall\n")
+
+    def test_missing_subscripts(self):
+        with pytest.raises(ParseError):
+            parse_program("Doall (i, 1, 4)\n A = B[i]\nEndDoall\n")
+
+
+class TestAffineSubscripts:
+    def _sub(self, text) -> AffineExpr:
+        loop = one_nest(f"Doall (i, 1, 4)\n Doall (j, 1, 4)\n  A[{text}] = B[i,j]\n EndDoall\nEndDoall\n")
+        return loop.body[0].body[0].lhs.subscripts[0]
+
+    def test_simple(self):
+        s = self._sub("i+1")
+        assert s.coeff_map() == {"i": 1} and s.const == 1
+
+    def test_negative(self):
+        s = self._sub("i-j-3")
+        assert s.coeff_map() == {"i": 1, "j": -1} and s.const == -3
+
+    def test_explicit_product(self):
+        s = self._sub("2*i+3*j")
+        assert s.coeff_map() == {"i": 2, "j": 3}
+
+    def test_implicit_product(self):
+        """Example 10 writes C(i, 2i, i+2j-1)."""
+        s = self._sub("2i")
+        assert s.coeff_map() == {"i": 2}
+        s = self._sub("i+2j-1")
+        assert s.coeff_map() == {"i": 1, "j": 2} and s.const == -1
+
+    def test_unary_minus(self):
+        s = self._sub("-i+2")
+        assert s.coeff_map() == {"i": -1} and s.const == 2
+
+    def test_parenthesised(self):
+        s = self._sub("2*(i+3)")
+        assert s.coeff_map() == {"i": 2} and s.const == 6
+
+    def test_cancellation(self):
+        s = self._sub("i-i+j")
+        assert s.coeff_map() == {"j": 1}
+
+    def test_constant_only(self):
+        s = self._sub("5")
+        assert s.is_constant() and s.const == 5
+
+    def test_nonaffine_product_rejected(self):
+        from repro.exceptions import LoweringError
+
+        with pytest.raises((ParseError, LoweringError)):
+            parse_program("Doall (i, 1, 4)\n A[i*i] = B[i]\nEndDoall\n")
+
+
+class TestRHSTrees:
+    def _rhs(self, text):
+        loop = one_nest(f"Doall (i, 1, 4)\n A[i] = {text}\nEndDoall\n")
+        return loop.body[0].rhs
+
+    def test_precedence(self):
+        rhs = self._rhs("B[i] + C[i] * D[i]")
+        assert isinstance(rhs, BinOp) and rhs.op == "+"
+        assert isinstance(rhs.right, BinOp) and rhs.right.op == "*"
+
+    def test_parens_override(self):
+        rhs = self._rhs("(B[i] + C[i]) * D[i]")
+        assert rhs.op == "*"
+        assert isinstance(rhs.left, BinOp) and rhs.left.op == "+"
+
+    def test_scalars_and_constants(self):
+        rhs = self._rhs("2 * B[i] - n")
+        assert isinstance(rhs.left.left, Const)
+        assert isinstance(rhs.right, Scalar)
+
+    def test_unary_minus(self):
+        rhs = self._rhs("-B[i]")
+        assert isinstance(rhs, Neg)
+
+    def test_collect_refs_order(self):
+        rhs = self._rhs("B[i] * (C[i] + D[i])")
+        assert [r.array for r in collect_refs(rhs)] == ["B", "C", "D"]
+
+    def test_division(self):
+        rhs = self._rhs("B[i] / 2")
+        assert rhs.op == "/"
+
+
+class TestAffineExprAlgebra:
+    def test_add_sub(self):
+        a = AffineExpr.variable("i") + AffineExpr.constant(3)
+        b = a - AffineExpr.variable("i")
+        assert b.is_constant() and b.const == 3
+
+    def test_scale(self):
+        a = AffineExpr.variable("i").scale(4)
+        assert a.coeff_map() == {"i": 4}
+
+    def test_multiply_requires_constant(self):
+        from repro.exceptions import LoweringError
+
+        i = AffineExpr.variable("i")
+        with pytest.raises(LoweringError):
+            i.multiply(i)
+
+    def test_evaluate(self):
+        a = AffineExpr((("i", 2), ("j", -1)), 5)
+        assert a.evaluate({"i": 3, "j": 1}) == 10
+
+    def test_evaluate_unbound(self):
+        from repro.exceptions import LoweringError
+
+        with pytest.raises(LoweringError):
+            AffineExpr.variable("i").evaluate({})
+
+    def test_substitute_partial(self):
+        a = AffineExpr((("i", 2), ("N", 1)), 0)
+        b = a.substitute({"N": 10})
+        assert b.coeff_map() == {"i": 2} and b.const == 10

@@ -1,0 +1,218 @@
+"""Tests for Lattice / BoundedLattice (Definition 9, Theorem 3, Lemma 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.lattice import BoundedLattice, Lattice
+
+
+def gen_matrix(rows, cols, lo=-3, hi=3):
+    return st.lists(
+        st.lists(st.integers(lo, hi), min_size=cols, max_size=cols),
+        min_size=rows,
+        max_size=rows,
+    )
+
+
+class TestLattice:
+    def test_membership(self):
+        lat = Lattice([[1, 1], [1, -1]])
+        assert lat.contains([4, 2])
+        assert lat.contains([0, 0])
+        assert not lat.contains([1, 0])  # odd coordinate sum
+
+    def test_contains_dunder(self):
+        lat = Lattice([[2]])
+        assert [4] in lat and [3] not in lat
+
+    def test_coefficients(self):
+        lat = Lattice([[1, 1], [1, -1]])
+        c = lat.coefficients([4, 2])
+        assert c is not None and (c @ np.array([[1, 1], [1, -1]]) == [4, 2]).all()
+        assert lat.coefficients([1, 0]) is None
+
+    def test_basis_canonical(self):
+        lat = Lattice([[2, 4], [1, 3], [3, 7]])
+        b = lat.basis()
+        assert b.shape == (2, 2)
+        # Basis generates the same lattice.
+        for row in [[2, 4], [1, 3], [3, 7]]:
+            assert Lattice(b).contains(row)
+
+    def test_rank_dim(self):
+        lat = Lattice([[1, 2, 3]])
+        assert lat.dim == 3 and lat.rank == 1
+
+    def test_index_in_ambient(self):
+        assert Lattice([[1, 1], [1, -1]]).index_in_ambient() == 2
+        assert Lattice([[1, 0], [0, 1]]).index_in_ambient() == 1
+        assert Lattice([[1, 2]]).index_in_ambient() == 0  # rank deficient
+
+    @given(gen_matrix(2, 2), st.lists(st.integers(-4, 4), min_size=2, max_size=2))
+    def test_membership_complete(self, m, coeffs):
+        lat = Lattice(m)
+        v = np.array(coeffs) @ np.array(m)
+        assert lat.contains(v)
+
+
+class TestBoundedLatticeBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedLattice([[1, 0]], [1, 2])  # bounds length mismatch
+        with pytest.raises(ValueError):
+            BoundedLattice([[1, 0]], [-1])
+
+    def test_size_independent(self):
+        bl = BoundedLattice([[1, 0], [0, 1]], [3, 4])
+        assert bl.size() == 4 * 5
+        assert bl.independent()
+
+    def test_size_dependent_rows(self):
+        # generators (1,) and (2,): values i + 2j, i<=2, j<=2 -> 0..6
+        bl = BoundedLattice([[1], [2]], [2, 2])
+        assert not bl.independent()
+        assert bl.size() == 7
+
+    def test_enumerate_matches_size(self):
+        bl = BoundedLattice([[1, 1], [1, -1]], [3, 2])
+        assert bl.enumerate().shape[0] == bl.size()
+
+    def test_translate_origin(self):
+        bl = BoundedLattice([[1]], [2])
+        t = bl.translate([5])
+        assert {tuple(p) for p in t.enumerate().tolist()} == {(5,), (6,), (7,)}
+
+
+class TestTheorem3:
+    """Theorem 3: L ∩ (L+t) nonempty iff t = Σ u_i a_i with |u_i| <= λ_i."""
+
+    def test_paper_example10_nonintersecting(self):
+        # C(i,2i,i+2j-1) vs C(i+1,2i+2,i+2j+1): reduced G'=[[1,1],[0,2]],
+        # reduced delta (1,2): u = (1, 1/2) not integral -> no intersection.
+        bl = BoundedLattice([[1, 1], [0, 2]], [10, 10])
+        assert not bl.intersects_translate([1, 2])
+
+    def test_intersecting_within_bounds(self):
+        bl = BoundedLattice([[1, 1], [1, -1]], [5, 5])
+        assert bl.intersects_translate([4, 2])  # u = (3, 1)
+
+    def test_out_of_bounds_coefficients(self):
+        bl = BoundedLattice([[1, 1], [1, -1]], [2, 5])
+        assert not bl.intersects_translate([4, 2])  # u1 = 3 > 2
+
+    def test_negative_coefficients_symmetric(self):
+        bl = BoundedLattice([[1, 0], [0, 1]], [3, 3])
+        assert bl.intersects_translate([-2, 1])
+
+    def test_requires_independent(self):
+        bl = BoundedLattice([[1], [2]], [2, 2])
+        with pytest.raises(ValueError):
+            bl.translation_coefficients([1])
+
+    @given(
+        gen_matrix(2, 2, -3, 3),
+        st.lists(st.integers(0, 4), min_size=2, max_size=2),
+        st.lists(st.integers(-6, 6), min_size=2, max_size=2),
+    )
+    def test_against_enumeration(self, m, bounds, t):
+        g = np.array(m)
+        from repro._util import int_rank
+
+        if int_rank(g) < 2:
+            return
+        bl = BoundedLattice(g, bounds)
+        a = {tuple(p) for p in bl.enumerate().tolist()}
+        b = {tuple(p) for p in bl.translate(t).enumerate().tolist()}
+        assert bl.intersects_translate(t) == bool(a & b)
+
+
+class TestLemma3:
+    """Lemma 3: |L ∪ (L+t)| = 2·Π(λ+1) − Π(λ+1−|u|)."""
+
+    def test_example2_strip(self):
+        bl = BoundedLattice([[1, 1], [1, -1]], [99, 0])
+        assert bl.union_size_with_translate([4, 4]) == 104
+
+    def test_example2_block(self):
+        bl = BoundedLattice([[1, 1], [1, -1]], [9, 9])
+        assert bl.union_size_with_translate([4, 4]) == 140
+
+    def test_disjoint_doubles(self):
+        bl = BoundedLattice([[2]], [4])
+        assert bl.union_size_with_translate([1]) == 10
+
+    def test_identity_translation(self):
+        bl = BoundedLattice([[1, 0], [0, 1]], [2, 2])
+        assert bl.union_size_with_translate([0, 0]) == bl.size()
+
+    @given(
+        gen_matrix(2, 2, -3, 3),
+        st.lists(st.integers(0, 4), min_size=2, max_size=2),
+        st.lists(st.integers(-6, 6), min_size=2, max_size=2),
+    )
+    def test_against_enumeration(self, m, bounds, t):
+        g = np.array(m)
+        from repro._util import int_rank
+
+        if int_rank(g) < 2:
+            return
+        bl = BoundedLattice(g, bounds)
+        a = {tuple(p) for p in bl.enumerate().tolist()}
+        b = {tuple(p) for p in bl.translate(t).enumerate().tolist()}
+        assert bl.union_size_with_translate(t) == len(a | b)
+
+
+class TestUnionMany:
+    def test_empty(self):
+        bl = BoundedLattice([[1, 0], [0, 1]], [2, 2])
+        assert bl.union_size_many([]) == 0
+
+    def test_single(self):
+        bl = BoundedLattice([[1, 0], [0, 1]], [2, 2])
+        assert bl.union_size_many([[0, 0]]) == 9
+
+    def test_matches_lemma3_for_pairs(self):
+        bl = BoundedLattice([[1, 1], [1, -1]], [9, 9])
+        assert (
+            bl.union_size_many([[0, 0], [4, 4]])
+            == bl.union_size_with_translate([4, 4])
+        )
+
+    def test_three_references(self):
+        # Example 8's B class in 2-D guise: offsets 0, (1,0), (0,1)
+        bl = BoundedLattice([[1, 0], [0, 1]], [3, 3])
+        exact = bl.union_size_many([[0, 0], [1, 0], [0, 1]])
+        pts = set()
+        for t in [(0, 0), (1, 0), (0, 1)]:
+            pts |= {tuple(p) for p in bl.translate(t).enumerate().tolist()}
+        assert exact == len(pts)
+
+    def test_dependent_generators_fallback(self):
+        bl = BoundedLattice([[1], [2]], [2, 2])
+        exact = bl.union_size_many([[0], [1]])
+        pts = {tuple(p) for p in bl.enumerate().tolist()}
+        pts |= {tuple(p) for p in bl.translate([1]).enumerate().tolist()}
+        assert exact == len(pts)
+
+    @given(
+        gen_matrix(2, 2, -2, 3),
+        st.lists(st.integers(0, 3), min_size=2, max_size=2),
+        st.lists(
+            st.lists(st.integers(-4, 4), min_size=2, max_size=2),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_against_enumeration(self, m, bounds, ts):
+        g = np.array(m)
+        from repro._util import int_rank
+
+        if int_rank(g) < 2:
+            return
+        bl = BoundedLattice(g, bounds)
+        pts = set()
+        for t in ts:
+            pts |= {tuple(p) for p in bl.translate(t).enumerate().tolist()}
+        assert bl.union_size_many(ts) == len(pts)

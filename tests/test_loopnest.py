@@ -1,0 +1,135 @@
+"""Tests for the loop-nest IR (repro.core.loopnest)."""
+
+import numpy as np
+import pytest
+
+from repro.core.affine import AccessKind, AffineRef, ArrayAccess
+from repro.core.loopnest import IterationSpace, Loop, LoopNest
+
+
+class TestLoop:
+    def test_trip_count(self):
+        assert Loop("i", 1, 10).trip_count == 10
+        assert Loop("i", 5, 5).trip_count == 1
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Loop("i", 3, 2)
+
+    def test_parallel_flag(self):
+        assert Loop("i", 1, 2).parallel
+        assert not Loop("t", 1, 2, parallel=False).parallel
+
+
+class TestIterationSpace:
+    def test_basic(self):
+        sp = IterationSpace([1, 1], [4, 6])
+        assert sp.depth == 2
+        assert sp.extents.tolist() == [4, 6]
+        assert sp.volume == 24
+
+    def test_contains(self):
+        sp = IterationSpace([0, 0], [3, 3])
+        assert sp.contains([0, 3])
+        assert not sp.contains([4, 0])
+        assert not sp.contains([-1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IterationSpace([2], [1])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            IterationSpace([1], [2, 3])
+
+
+def _ref(depth=2, array="A", offset=None):
+    g = np.eye(depth, dtype=int)
+    return AffineRef(array, g, offset or [0] * depth)
+
+
+class TestLoopNest:
+    def test_basic(self):
+        nest = LoopNest([Loop("i", 1, 4), Loop("j", 1, 5)], [_ref()])
+        assert nest.depth == 2
+        assert nest.index_names == ("i", "j")
+        assert nest.space.volume == 20
+
+    def test_accesses_wrapped(self):
+        nest = LoopNest([Loop("i", 1, 2)], [AffineRef("A", [[1]], [0])])
+        assert isinstance(nest.accesses[0], ArrayAccess)
+
+    def test_depth_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest([Loop("i", 1, 2)], [_ref(depth=2)])
+
+    def test_needs_loops(self):
+        with pytest.raises(ValueError):
+            LoopNest([], [_ref(depth=0)])
+
+    def test_arrays_in_order(self):
+        nest = LoopNest(
+            [Loop("i", 1, 2)],
+            [
+                AffineRef("B", [[1]], [0]),
+                AffineRef("A", [[1]], [0]),
+                AffineRef("B", [[1]], [1]),
+            ],
+        )
+        assert nest.arrays() == ("B", "A")
+        assert len(nest.accesses_to("B")) == 2
+
+    def test_writes(self):
+        nest = LoopNest(
+            [Loop("i", 1, 2)],
+            [
+                ArrayAccess(AffineRef("A", [[1]], [0]), AccessKind.WRITE),
+                ArrayAccess(AffineRef("B", [[1]], [0]), AccessKind.READ),
+                ArrayAccess(AffineRef("C", [[1]], [0]), AccessKind.SYNC),
+            ],
+        )
+        assert [a.ref.array for a in nest.writes()] == ["A", "C"]
+
+    def test_sequential_wrapper(self):
+        nest = LoopNest(
+            [Loop("i", 1, 2)],
+            [_ref(depth=1)],
+            sequential_loops=[Loop("t", 1, 5, parallel=False)],
+        )
+        assert nest.has_sequential_wrapper
+
+
+class TestFromSubscripts:
+    def test_example9_shape(self):
+        nest = LoopNest.from_subscripts(
+            {"i": (1, 8), "j": (1, 8)},
+            [
+                ("A", [{"i": 1}, {"j": 1}], "write"),
+                ("B", [{"i": 1, "": -2}, {"j": 1}], "read"),
+                ("C", [{"i": 1, "j": 1}, {"j": 1}], "read"),
+            ],
+        )
+        assert nest.depth == 2
+        b = nest.accesses[1].ref
+        assert b.g.tolist() == [[1, 0], [0, 1]]
+        assert b.offset.tolist() == [-2, 0]
+        c = nest.accesses[2].ref
+        assert c.g.tolist() == [[1, 0], [1, 1]]
+
+    def test_int_subscript(self):
+        nest = LoopNest.from_subscripts(
+            {"i": (1, 4)},
+            [("A", [{"i": 1}, 7], "read")],
+        )
+        ref = nest.accesses[0].ref
+        assert ref.offset.tolist() == [0, 7]
+        assert ref.g.tolist() == [[1, 0]]
+
+    def test_sequential(self):
+        nest = LoopNest.from_subscripts(
+            {"i": (1, 4)},
+            [("A", [{"i": 1}], "write")],
+            sequential={"t": (1, 3)},
+        )
+        assert nest.has_sequential_wrapper
+        assert nest.sequential_loops[0].trip_count == 3

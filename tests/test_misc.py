@@ -1,0 +1,114 @@
+"""Small cross-cutting tests: exceptions, table formatting, public API."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    LoweringError,
+    NonIntegerMatrixError,
+    NotUnimodularError,
+    OptimizationError,
+    ParseError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+    SingularMatrixError,
+)
+from repro.sim.stats import format_table
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for exc in (
+            NonIntegerMatrixError,
+            SingularMatrixError,
+            NotUnimodularError,
+            ParseError,
+            LoweringError,
+            PartitionError,
+            OptimizationError,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compat(self):
+        assert issubclass(NonIntegerMatrixError, ValueError)
+        assert issubclass(PartitionError, ValueError)
+
+    def test_parse_error_position(self):
+        e = ParseError("bad token", 3, 7)
+        assert "line 3" in str(e) and "column 7" in str(e)
+        assert e.line == 3 and e.column == 7
+
+    def test_parse_error_no_position(self):
+        e = ParseError("oops")
+        assert str(e) == "oops"
+
+    def test_catch_all(self):
+        from repro.lang import compile_nest
+
+        with pytest.raises(ReproError):
+            compile_nest("Doall (i, 1, N)\n A[i] = B[i]\nEndDoall\n")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, "x"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("--")
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert out.splitlines()[0] == "x"
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines as b
+        import repro.codegen as cg
+        import repro.lang as lang
+        import repro.lattice as lat
+        import repro.sim as sim
+
+        for mod in (b, cg, lang, lat, sim):
+            for name in mod.__all__:
+                assert hasattr(mod, name), (mod.__name__, name)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_doctests_of_key_modules(self):
+        import doctest
+
+        import repro.lattice.hnf
+        import repro.lattice.snf
+        import repro.core.spread
+        import repro.lang.lower
+        import repro.sim.stats
+
+        for mod in (
+            repro.lattice.hnf,
+            repro.lattice.snf,
+            repro.core.spread,
+            repro.lang.lower,
+            repro.sim.stats,
+        ):
+            result = doctest.testmod(mod)
+            assert result.failed == 0, mod.__name__
+            assert result.attempted > 0, mod.__name__

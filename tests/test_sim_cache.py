@@ -1,0 +1,109 @@
+"""Tests for the per-processor cache model."""
+
+import pytest
+
+from repro.sim.cache import Cache, LineState
+
+
+class TestReads:
+    def test_miss_then_hit(self):
+        c = Cache()
+        assert not c.lookup_read("x")
+        c.fill("x", LineState.SHARED)
+        assert c.lookup_read("x")
+        assert c.stats.read_misses == 1 and c.stats.read_hits == 1
+
+    def test_contains(self):
+        c = Cache()
+        c.fill("x", LineState.SHARED)
+        assert "x" in c and "y" not in c
+        assert len(c) == 1
+
+
+class TestWrites:
+    def test_write_miss(self):
+        c = Cache()
+        assert c.lookup_write("x") == "miss"
+        assert c.stats.write_misses == 1
+
+    def test_write_upgrade_from_shared(self):
+        c = Cache()
+        c.fill("x", LineState.SHARED)
+        assert c.lookup_write("x") == "upgrade"
+        assert c.stats.write_upgrades == 1
+
+    def test_write_hit_on_modified(self):
+        c = Cache()
+        c.fill("x", LineState.MODIFIED)
+        assert c.lookup_write("x") == "hit"
+        assert c.stats.write_hits == 1
+
+    def test_misses_counts_upgrades(self):
+        c = Cache()
+        c.fill("x", LineState.SHARED)
+        c.lookup_write("x")
+        assert c.stats.misses == 1  # the upgrade is memory-visible
+
+
+class TestStateChanges:
+    def test_invalidate(self):
+        c = Cache()
+        c.fill("x", LineState.SHARED)
+        assert c.invalidate("x")
+        assert "x" not in c
+        assert c.stats.invalidations_received == 1
+        assert not c.invalidate("x")
+
+    def test_downgrade(self):
+        c = Cache()
+        c.fill("x", LineState.MODIFIED)
+        assert c.downgrade("x")
+        assert c.state("x") is LineState.SHARED
+        assert not c.downgrade("x")  # already shared
+
+    def test_set_state_requires_presence(self):
+        c = Cache()
+        with pytest.raises(KeyError):
+            c.set_state("x", LineState.SHARED)
+
+    def test_flush(self):
+        c = Cache()
+        c.fill("x", LineState.SHARED)
+        c.flush()
+        assert len(c) == 0
+
+
+class TestLRU:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Cache(capacity=0)
+
+    def test_eviction_order(self):
+        c = Cache(capacity=2)
+        c.fill("a", LineState.SHARED)
+        c.fill("b", LineState.SHARED)
+        evicted = c.fill("c", LineState.SHARED)
+        assert evicted == ["a"]
+        assert c.stats.evictions == 1
+
+    def test_touch_on_read_prevents_eviction(self):
+        c = Cache(capacity=2)
+        c.fill("a", LineState.SHARED)
+        c.fill("b", LineState.SHARED)
+        c.lookup_read("a")  # now b is LRU
+        evicted = c.fill("c", LineState.SHARED)
+        assert evicted == ["b"]
+
+    def test_refill_same_addr_no_eviction(self):
+        c = Cache(capacity=1)
+        c.fill("a", LineState.SHARED)
+        evicted = c.fill("a", LineState.MODIFIED)
+        assert evicted == []
+        assert c.state("a") is LineState.MODIFIED
+
+    def test_infinite_by_default(self):
+        c = Cache()
+        for i in range(1000):
+            c.fill(i, LineState.SHARED)
+        assert len(c) == 1000
+        assert c.stats.evictions == 0

@@ -1,0 +1,138 @@
+"""Tests for the MSI directory protocol."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.cache import Cache, LineState
+from repro.sim.directory import Directory
+
+
+def make(n=3, capacity=None):
+    caches = [Cache(capacity) for _ in range(n)]
+    return caches, Directory(caches)
+
+
+class TestReads:
+    def test_cold_read(self):
+        caches, d = make()
+        msgs = d.read("x", 0)
+        assert caches[0].state("x") is LineState.SHARED
+        assert d.stats.cold_fills == 1
+        assert len(msgs) == 2  # req + data
+
+    def test_second_reader_shares(self):
+        caches, d = make()
+        d.read("x", 0)
+        d.read("x", 1)
+        assert caches[0].state("x") is LineState.SHARED
+        assert caches[1].state("x") is LineState.SHARED
+        assert d.stats.cold_fills == 1  # second fill is not cold
+        d.check_invariants()
+
+    def test_read_from_dirty_owner(self):
+        caches, d = make()
+        d.write("x", 0, upgrade=False)
+        msgs = d.read("x", 1)
+        assert caches[0].state("x") is LineState.SHARED  # downgraded
+        assert caches[1].state("x") is LineState.SHARED
+        assert d.stats.downgrades == 1
+        assert d.stats.writebacks == 1
+        assert len(msgs) == 4
+        d.check_invariants()
+
+
+class TestWrites:
+    def test_cold_write(self):
+        caches, d = make()
+        d.write("x", 0, upgrade=False)
+        assert caches[0].state("x") is LineState.MODIFIED
+        assert d.entries["x"].owner == 0
+        d.check_invariants()
+
+    def test_write_invalidates_sharers(self):
+        caches, d = make()
+        d.read("x", 0)
+        d.read("x", 1)
+        d.write("x", 2, upgrade=False)
+        assert caches[0].state("x") is None
+        assert caches[1].state("x") is None
+        assert caches[2].state("x") is LineState.MODIFIED
+        assert d.stats.invalidations == 2
+        d.check_invariants()
+
+    def test_write_steals_from_owner(self):
+        caches, d = make()
+        d.write("x", 0, upgrade=False)
+        d.write("x", 1, upgrade=False)
+        assert caches[0].state("x") is None
+        assert caches[1].state("x") is LineState.MODIFIED
+        assert d.stats.invalidations == 1
+        assert d.stats.writebacks == 1
+        d.check_invariants()
+
+    def test_upgrade_path(self):
+        caches, d = make()
+        d.read("x", 0)
+        d.read("x", 1)
+        outcome = caches[0].lookup_write("x")
+        assert outcome == "upgrade"
+        d.write("x", 0, upgrade=True)
+        assert caches[0].state("x") is LineState.MODIFIED
+        assert caches[1].state("x") is None
+        d.check_invariants()
+
+
+class TestMissClassification:
+    def test_coherence_miss(self):
+        caches, d = make()
+        d.read("x", 0)
+        d.write("x", 1, upgrade=False)  # invalidates 0
+        caches[0].lookup_read("x")
+        d.read("x", 0)
+        assert d.stats.coherence_misses == 1
+
+    def test_capacity_miss(self):
+        caches, d = make(capacity=1)
+        d.read("x", 0)
+        d._fill("y", 0, LineState.SHARED)  # evicts x
+        d.read("x", 0)
+        assert d.stats.capacity_misses == 1
+
+    def test_cold_only_once_globally(self):
+        _, d = make()
+        d.read("x", 0)
+        d.read("x", 1)
+        d.read("x", 2)
+        assert d.stats.cold_fills == 1
+
+
+class TestInvariants:
+    def test_detects_corruption(self):
+        caches, d = make()
+        d.write("x", 0, upgrade=False)
+        caches[0]._lines["x"] = LineState.SHARED  # corrupt behind the directory
+        with pytest.raises(SimulationError):
+            d.check_invariants()
+
+    def test_detects_stale_sharer(self):
+        caches, d = make()
+        d.read("x", 0)
+        del caches[0]._lines["x"]  # silent drop without telling directory
+        with pytest.raises(SimulationError):
+            d.check_invariants()
+
+    def test_sharer_histogram(self):
+        _, d = make()
+        d.read("x", 0)
+        d.read("x", 1)
+        d.read("y", 2)
+        hist = d.sharer_histogram()
+        assert hist == {2: 1, 1: 1}
+
+    def test_note_eviction_updates_directory(self):
+        caches, d = make()
+        d.write("x", 0, upgrade=False)
+        caches[0].invalidate("x")
+        d.note_eviction("x", 0)
+        assert d.entries["x"].owner is None
+        d.check_invariants()

@@ -1,0 +1,177 @@
+"""Tests for the composed machine model and address maps."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.memory import AddressMap, block_address_map, flat_address_map
+
+
+class TestAddressMap:
+    def test_interleave_stable(self):
+        am = flat_address_map(4)
+        h1 = am.home("A", (1, 2))
+        h2 = am.home("A", (1, 2))
+        assert h1 == h2
+        assert 0 <= h1 < 4
+
+    def test_node0_policy(self):
+        am = AddressMap(4, default_policy="node0")
+        assert am.home("A", (9, 9)) == 0
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            AddressMap(4, default_policy="bogus")
+
+    def test_block_map(self):
+        g2n = np.array([[0, 1], [2, 3]])
+        am = AddressMap(4)
+        am.set_block_map("A", (0, 0), (5, 5), g2n)
+        assert am.home("A", (0, 0)) == 0
+        assert am.home("A", (4, 9)) == 1
+        assert am.home("A", (5, 0)) == 2
+        assert am.home("A", (9, 9)) == 3
+
+    def test_block_map_clamps_overflow(self):
+        g2n = np.array([[0, 1]])
+        am = AddressMap(2)
+        am.set_block_map("A", (0, 0), (2, 2), g2n)
+        assert am.home("A", (100, 100)) == 1  # clamped to last block
+
+    def test_homes_vector_matches_scalar(self):
+        g2n = np.arange(6).reshape(2, 3)
+        am = AddressMap(6)
+        am.set_block_map("A", (1, 1), (3, 4), g2n)
+        coords = np.array([[1, 1], [3, 1], [1, 5], [4, 12]])
+        vec = am.homes_vector("A", coords)
+        for c, h in zip(coords, vec):
+            assert am.home("A", tuple(int(x) for x in c)) == int(h)
+
+    def test_block_address_map_helper(self):
+        am = block_address_map(
+            2, {"A": ((0,), (5,), np.array([0, 1]))}
+        )
+        assert am.home("A", (0,)) == 0
+        assert am.home("A", (7,)) == 1
+
+    def test_validation(self):
+        am = AddressMap(2)
+        with pytest.raises(ValueError):
+            am.set_block_map("A", (0,), (0,), np.array([0]))
+        with pytest.raises(ValueError):
+            am.set_block_map("A", (0, 0), (1, 1), np.array([0]))
+        with pytest.raises(ValueError):
+            AddressMap(0)
+
+
+class TestMachine:
+    def test_int_shorthand(self):
+        m = Machine(4)
+        assert m.p == 4
+
+    def test_read_write_paths(self):
+        m = Machine(2)
+        assert not m.access(0, "A", (0,), "read")   # miss
+        assert m.access(0, "A", (0,), "read")        # hit
+        assert not m.access(1, "A", (0,), "write")   # miss + invalidate 0
+        assert not m.access(0, "A", (0,), "read")    # coherence miss
+        assert m.directory.stats.invalidations == 1
+        assert m.directory.stats.coherence_misses == 1
+        m.check()
+
+    def test_sync_is_write(self):
+        m = Machine(2)
+        m.access(0, "C", (0, 0), "sync")
+        from repro.sim.cache import LineState
+
+        assert m.caches[0].state(("C", (0, 0))) is LineState.MODIFIED
+
+    def test_bad_kind(self):
+        m = Machine(1)
+        with pytest.raises(SimulationError):
+            m.access(0, "A", (0,), "fetch")
+
+    def test_bad_processor(self):
+        m = Machine(1)
+        with pytest.raises(SimulationError):
+            m.access(1, "A", (0,), "read")
+
+    def test_local_vs_remote_accounting(self):
+        am = AddressMap(2, default_policy="node0")
+        m = Machine(MachineConfig(processors=2, local_cost=1, remote_cost=5), address_map=am)
+        m.access(0, "A", (0,), "read")   # home 0, local
+        m.access(1, "A", (1,), "read")   # home 0, remote for proc 1
+        assert m.local_miss_count[0] == 1
+        assert m.remote_miss_count[1] == 1
+        assert m.memory_cost[0] == 1 and m.memory_cost[1] == 5
+
+    def test_network_traffic_counted(self):
+        am = AddressMap(4, default_policy="node0")
+        m = Machine(MachineConfig(processors=4), address_map=am)
+        m.access(3, "A", (0,), "read")
+        assert m.network.messages == 2
+        assert m.network.hops == 2 * m.network.distance(3, 0)
+
+    def test_upgrade_messages(self):
+        m = Machine(2)
+        m.access(0, "A", (0,), "read")
+        m.access(1, "A", (0,), "read")
+        m.access(0, "A", (0,), "write")  # upgrade, invalidate 1
+        assert m.caches[0].stats.write_upgrades == 1
+        assert m.directory.stats.invalidations == 1
+        m.check()
+
+    def test_flush_caches(self):
+        m = Machine(1)
+        m.access(0, "A", (0,), "read")
+        m.flush_caches()
+        assert not m.access(0, "A", (0,), "read")  # miss again
+        assert m.caches[0].stats.read_misses == 2
+
+    def test_finite_cache_capacity_evictions(self):
+        m = Machine(MachineConfig(processors=1, cache_capacity=2))
+        for i in range(4):
+            m.access(0, "A", (i,), "read")
+        assert m.caches[0].stats.evictions == 2
+        # re-access evicted line: capacity miss
+        m.access(0, "A", (0,), "read")
+        assert m.directory.stats.capacity_misses == 1
+        m.check()
+
+    def test_total_counters(self):
+        m = Machine(1)
+        m.access(0, "A", (0,), "read")
+        m.access(0, "A", (0,), "read")
+        assert m.total_accesses == 2
+        assert m.total_misses == 1
+
+
+class TestDeterministicHoming:
+    def test_mix_is_process_independent(self):
+        """The interleave hash must not depend on PYTHONHASHSEED."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.sim.memory import flat_address_map;"
+            "am = flat_address_map(7);"
+            "print([am.home('A', (i, 2*i)) for i in range(10)])"
+        )
+        outs = set()
+        for seed in ("0", "1", "random"):
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.add(proc.stdout.strip())
+        assert len(outs) == 1, outs
+
+    def test_mix_spreads(self):
+        am = flat_address_map(8)
+        homes = {am.home("A", (i, j)) for i in range(8) for j in range(8)}
+        assert len(homes) == 8  # all nodes used

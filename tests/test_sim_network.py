@@ -1,0 +1,82 @@
+"""Tests for the interconnect models."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.network import GraphNetwork, MeshNetwork, best_mesh_shape
+
+
+class TestBestMeshShape:
+    def test_squares(self):
+        assert best_mesh_shape(16) == (4, 4)
+        assert best_mesh_shape(64) == (8, 8)
+
+    def test_rectangles(self):
+        assert best_mesh_shape(12) == (3, 4)
+        assert best_mesh_shape(2) == (1, 2)
+
+    def test_primes(self):
+        assert best_mesh_shape(7) == (1, 7)
+
+    def test_one(self):
+        assert best_mesh_shape(1) == (1, 1)
+
+
+class TestMesh:
+    def test_coords_row_major(self):
+        net = MeshNetwork(6, (2, 3))
+        assert net.coords(0) == (0, 0)
+        assert net.coords(5) == (1, 2)
+
+    def test_manhattan_distance(self):
+        net = MeshNetwork(16)  # 4x4
+        assert net.distance(0, 0) == 0
+        assert net.distance(0, 5) == 2  # (0,0)->(1,1)
+        assert net.distance(0, 15) == 6
+
+    def test_send_accounting(self):
+        net = MeshNetwork(4)
+        d = net.send(0, 3)
+        assert d == net.distance(0, 3)
+        assert net.messages == 1
+        assert net.hops == d
+        net.reset()
+        assert net.messages == 0 and net.hops == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(16, (2, 2))
+        with pytest.raises(ValueError):
+            MeshNetwork(0)
+
+
+class TestGraphNetwork:
+    def test_ring(self):
+        g = nx.cycle_graph(6)
+        net = GraphNetwork(g)
+        assert net.distance(0, 3) == 3
+        assert net.distance(0, 5) == 1
+
+    def test_send(self):
+        net = GraphNetwork(nx.path_graph(4))
+        net.send(0, 3)
+        assert net.hops == 3 and net.messages == 1
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        with pytest.raises(ValueError):
+            GraphNetwork(g)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphNetwork(nx.Graph())
+
+    def test_matches_mesh_on_grid_graph(self):
+        mesh = MeshNetwork(12, (3, 4))
+        g = nx.grid_2d_graph(3, 4)
+        mapping = {(r, c): r * 4 + c for r, c in g.nodes()}
+        net = GraphNetwork(nx.relabel_nodes(g, mapping))
+        for a in range(12):
+            for b in range(12):
+                assert net.distance(a, b) == mesh.distance(a, b)

@@ -1,0 +1,77 @@
+"""Tests for spread vectors (Definition 8 and footnote 2)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.spread import cumulative_spread_vector, spread_vector
+
+
+class TestSpreadVector:
+    def test_example8(self):
+        """Example 8: B offsets (-1,0,1)/(0,1,0)/(1,-2,-3) -> â = (2,3,4)."""
+        offsets = [[-1, 0, 1], [0, 1, 0], [1, -2, -3]]
+        assert spread_vector(offsets).tolist() == [2, 3, 4]
+
+    def test_single_reference_zero(self):
+        assert spread_vector([[5, -3]]).tolist() == [0, 0]
+
+    def test_example2(self):
+        assert spread_vector([[0, -1], [4, 3]]).tolist() == [4, 4]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-10, 10), min_size=2, max_size=2),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_nonnegative_and_tight(self, offs):
+        a = np.array(offs)
+        s = spread_vector(a)
+        assert np.all(s >= 0)
+        assert np.all(s == a.max(axis=0) - a.min(axis=0))
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-5, 5), min_size=2, max_size=2),
+            min_size=1,
+            max_size=6,
+        ),
+        st.lists(st.integers(-5, 5), min_size=2, max_size=2),
+    )
+    def test_translation_invariant(self, offs, shift):
+        a = np.array(offs)
+        assert np.array_equal(spread_vector(a), spread_vector(a + np.array(shift)))
+
+
+class TestCumulativeSpread:
+    def test_two_refs_equals_spread(self):
+        offs = [[0, 0], [4, 2]]
+        assert cumulative_spread_vector(offs).tolist() == [4, 2]
+
+    def test_three_refs_exceeds_spread(self):
+        # offsets -1, 0, 1 per dim: spread 2, cumulative |−1|+0+|1| = 2
+        offs = [[-1], [0], [1]]
+        assert cumulative_spread_vector(offs).tolist() == [2]
+        # offsets 0, 0, 3: median 0 -> cumulative 3; spread 3
+        offs = [[0], [0], [3]]
+        assert cumulative_spread_vector(offs).tolist() == [3]
+        # offsets 0, 1, 2, 3: median 1.5 -> 1.5+0.5+0.5+1.5 = 4 > spread 3
+        offs = [[0], [1], [2], [3]]
+        assert cumulative_spread_vector(offs).tolist() == [4]
+
+    def test_single_reference(self):
+        assert cumulative_spread_vector([[7, -7]]).tolist() == [0, 0]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-6, 6), min_size=1, max_size=1),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    def test_at_least_spread(self, offs):
+        """a⁺ dominates â: data partitioning pays for every extra copy."""
+        a = np.array(offs)
+        assert cumulative_spread_vector(a)[0] >= spread_vector(a)[0]

@@ -1,0 +1,119 @@
+"""Tests for unimodularity / mapping-property tests (Lemmas 1-2, Sec 3.4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import box_points_array, int_rank
+from repro.exceptions import SingularMatrixError
+from repro.lattice.unimodular import (
+    is_nonsingular,
+    is_one_to_one,
+    is_onto,
+    is_unimodular,
+    maximal_independent_columns,
+    nonsingular_column_selection,
+    select_unimodular_columns,
+)
+
+
+def matrices(rows, cols, lo=-4, hi=4):
+    return st.lists(
+        st.lists(st.integers(lo, hi), min_size=cols, max_size=cols),
+        min_size=rows,
+        max_size=rows,
+    )
+
+
+class TestPredicates:
+    def test_unimodular(self):
+        assert is_unimodular([[1, 0], [1, 1]])
+        assert is_unimodular([[0, 1], [1, 0]])
+        assert not is_unimodular([[1, 1], [1, -1]])  # det -2 (Example 10)
+        assert not is_unimodular([[1, 2, 3]])  # not square
+
+    def test_nonsingular(self):
+        assert is_nonsingular([[1, 1], [1, -1]])
+        assert not is_nonsingular([[1, 2], [2, 4]])
+        assert not is_nonsingular([[1, 2]])
+
+    def test_one_to_one_lemma1(self):
+        assert is_one_to_one([[1, 0], [0, 1]])
+        assert is_one_to_one([[1, 2, 1], [0, 0, 1]])  # Example 7
+        assert not is_one_to_one([[1, 2], [2, 4]])
+
+    def test_onto_lemma2(self):
+        assert is_onto([[1, 0], [0, 1]])
+        assert is_onto([[1], [2]])  # gcd(1,2)=1, col independent
+        assert not is_onto([[2]])  # A[2i] misses odd elements
+        assert not is_onto([[2], [4]])  # gcd 2
+        assert not is_onto([[1, 2], [2, 4]])  # dependent columns
+
+
+class TestLemmasAgainstBruteForce:
+    @given(matrices(2, 2, -3, 3))
+    def test_one_to_one_bruteforce(self, m):
+        g = np.array(m)
+        pts = box_points_array([-3, -3], [3, 3])
+        imgs = pts @ g
+        injective = np.unique(imgs, axis=0).shape[0] == pts.shape[0]
+        # One-to-one on all of Z^2 implies injective on the sample; the
+        # converse holds for linear maps on a full-dimensional sample.
+        assert is_one_to_one(g) == injective
+
+    @given(matrices(2, 1, -3, 3))
+    def test_onto_bruteforce_1d(self, m):
+        g = np.array(m)
+        pts = box_points_array([-6, -6], [6, 6])
+        vals = set((pts @ g)[:, 0].tolist())
+        # Onto <=> consecutive integers near 0 all hit.
+        window = {-1, 0, 1}
+        assert is_onto(g) == window.issubset(vals)
+
+
+class TestColumnSelection:
+    def test_example7(self):
+        """Example 7: A[i, 2i, i+j] -> keep columns 0 and 2."""
+        g = [[1, 2, 1], [0, 0, 1]]
+        assert maximal_independent_columns(g) == (0, 2)
+        assert select_unimodular_columns(g) == (0, 2)
+
+    def test_greedy_order(self):
+        g = [[1, 1, 0], [0, 2, 1]]
+        assert maximal_independent_columns(g) == (0, 1)
+
+    def test_no_unimodular_selection(self):
+        # every 2x2 submatrix has |det| != 1
+        g = [[2, 0], [0, 2]]
+        assert select_unimodular_columns(g) is None
+        assert nonsingular_column_selection(g) == (0, 1)
+
+    def test_unimodular_preferred_over_greedy(self):
+        # greedy picks (0,1) with det 2; (0,2) is unimodular
+        g = [[1, 0, 0], [0, 2, 1]]
+        assert maximal_independent_columns(g) == (0, 1)
+        assert select_unimodular_columns(g) == (0, 2)
+        assert nonsingular_column_selection(g) == (0, 2)
+
+    def test_rank_deficient_rows(self):
+        g = [[1, 2], [2, 4]]
+        assert select_unimodular_columns(g) is None
+        with pytest.raises(SingularMatrixError):
+            nonsingular_column_selection(g)
+
+    @given(matrices(2, 3, -3, 3))
+    def test_selected_columns_independent(self, m):
+        g = np.array(m)
+        cols = maximal_independent_columns(g)
+        assert int_rank(g[:, list(cols)]) == len(cols)
+        assert len(cols) == int_rank(g)
+
+    @given(matrices(2, 3, -3, 3))
+    def test_unimodular_selection_sound(self, m):
+        g = np.array(m)
+        cols = select_unimodular_columns(g)
+        if cols is not None:
+            from repro._util import int_det
+
+            assert abs(int_det(g[:, list(cols)])) == 1

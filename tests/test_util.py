@@ -1,0 +1,231 @@
+"""Unit tests for the exact integer helpers in repro._util."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    as_int_matrix,
+    as_int_vector,
+    box_points_array,
+    box_volume,
+    exact_inverse,
+    exact_solve,
+    gcd_many,
+    int_det,
+    int_rank,
+    is_integer_array,
+    iter_box,
+    minors_gcd,
+    vector_gcd,
+)
+from repro.exceptions import NonIntegerMatrixError, SingularMatrixError
+
+
+def square(draw_lo=-6, hi=6, n=3):
+    return st.lists(
+        st.lists(st.integers(draw_lo, hi), min_size=n, max_size=n),
+        min_size=n,
+        max_size=n,
+    )
+
+
+class TestCoercion:
+    def test_accepts_lists(self):
+        m = as_int_matrix([[1, 2], [3, 4]])
+        assert m.dtype == np.int64 and m.shape == (2, 2)
+
+    def test_accepts_integral_floats(self):
+        m = as_int_matrix(np.array([[1.0, 2.0]]))
+        assert m.tolist() == [[1, 2]]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(NonIntegerMatrixError):
+            as_int_matrix([[0.5, 1.0]])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(NonIntegerMatrixError):
+            as_int_matrix([1, 2, 3])
+
+    def test_vector(self):
+        v = as_int_vector([1, -2])
+        assert v.tolist() == [1, -2]
+
+    def test_is_integer_array(self):
+        assert is_integer_array(np.array([1, 2]))
+        assert is_integer_array(np.array([1.0, 2.0]))
+        assert not is_integer_array(np.array([1.5]))
+        assert not is_integer_array(np.array(["a"]))
+
+
+class TestDet:
+    def test_known(self):
+        assert int_det([[1, 2], [3, 4]]) == -2
+        assert int_det([[2]]) == 2
+        assert int_det(np.eye(4, dtype=int)) == 1
+
+    def test_empty(self):
+        assert int_det(np.zeros((0, 0), dtype=int)) == 1
+
+    def test_singular(self):
+        assert int_det([[1, 2], [2, 4]]) == 0
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(SingularMatrixError):
+            int_det([[1, 2, 3], [4, 5, 6]])
+
+    def test_pivot_swap_path(self):
+        assert int_det([[0, 1], [1, 0]]) == -1
+
+    @given(square())
+    def test_matches_numpy(self, m):
+        a = np.array(m)
+        assert int_det(a) == round(np.linalg.det(a.astype(float)))
+
+    def test_no_overflow_on_big_entries(self):
+        big = 10**12
+        m = [[big, 0], [0, big]]
+        assert int_det(m) == big * big
+
+
+class TestRank:
+    def test_known(self):
+        assert int_rank([[1, 2], [2, 4]]) == 1
+        assert int_rank([[1, 0], [0, 1]]) == 2
+        assert int_rank([[0, 0], [0, 0]]) == 0
+        assert int_rank([[1, 2, 1], [0, 0, 1]]) == 2
+
+    @given(square(n=3))
+    def test_matches_numpy(self, m):
+        a = np.array(m)
+        assert int_rank(a) == np.linalg.matrix_rank(a.astype(float))
+
+
+class TestGcd:
+    def test_gcd_many(self):
+        assert gcd_many([4, 6, 8]) == 2
+        assert gcd_many([]) == 0
+        assert gcd_many([0, 0]) == 0
+        assert gcd_many([5]) == 5
+        assert gcd_many([-4, 6]) == 2
+
+    def test_vector_gcd(self):
+        assert vector_gcd([2, 4]) == 2
+        assert vector_gcd([0, 0]) == 0
+
+    def test_minors_gcd(self):
+        # columns of [[1,2,1],[0,0,2]]: maximal minors of order 2
+        assert minors_gcd([[1, 2, 1], [0, 0, 2]], 2) == 2
+        assert minors_gcd([[1, 0], [0, 1]], 2) == 1
+        with pytest.raises(ValueError):
+            minors_gcd([[1, 2]], 2)
+
+
+class TestExactSolve:
+    def test_square_solvable(self):
+        a = [[1, 1], [1, -1]]
+        x = exact_solve(a, [4, 2])
+        assert x == [Fraction(3), Fraction(1)]
+
+    def test_fractional_solution(self):
+        x = exact_solve([[2, 0], [0, 2]], [1, 1])
+        assert x == [Fraction(1, 2), Fraction(1, 2)]
+
+    def test_inconsistent(self):
+        # x * [[1,1]] = (1, 2) has no solution (needs equal components)
+        assert exact_solve([[1, 1]], [1, 2]) is None
+
+    def test_underdetermined_returns_particular(self):
+        a = [[1, 0], [1, 0]]  # rows dependent
+        x = exact_solve(a, [3, 0])
+        assert x is not None
+        total = x[0] * 1 + x[1] * 1
+        assert total == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_solve([[1, 2]], [1, 2, 3])
+
+    @given(square(n=2), st.lists(st.integers(-5, 5), min_size=2, max_size=2))
+    def test_solution_verifies(self, m, xs):
+        a = np.array(m)
+        b = np.array(xs) @ a
+        sol = exact_solve(a, b)
+        assert sol is not None
+        recon = [
+            sum(sol[r] * int(a[r, c]) for r in range(2)) for c in range(2)
+        ]
+        assert recon == [int(v) for v in b]
+
+
+class TestExactInverse:
+    def test_identity(self):
+        inv = exact_inverse([[1, 0], [0, 1]])
+        assert inv == [[Fraction(1), Fraction(0)], [Fraction(0), Fraction(1)]]
+
+    def test_known(self):
+        inv = exact_inverse([[2, 0], [0, 4]])
+        assert inv[0][0] == Fraction(1, 2) and inv[1][1] == Fraction(1, 4)
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            exact_inverse([[1, 2], [2, 4]])
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(SingularMatrixError):
+            exact_inverse([[1, 2, 3], [4, 5, 6]])
+
+    @given(square(n=3))
+    def test_roundtrip(self, m):
+        a = np.array(m)
+        if int_det(a) == 0:
+            return
+        inv = exact_inverse(a)
+        n = 3
+        prod = [
+            [sum(Fraction(int(a[i][k])) * inv[k][j] for k in range(n)) for j in range(n)]
+            for i in range(n)
+        ]
+        assert all(prod[i][j] == (1 if i == j else 0) for i in range(n) for j in range(n))
+
+
+class TestBoxes:
+    def test_iter_box(self):
+        pts = list(iter_box([0, 0], [1, 2]))
+        assert len(pts) == 6
+        assert pts[0] == (0, 0) and pts[-1] == (1, 2)
+
+    def test_box_volume(self):
+        assert box_volume([0, 0], [1, 2]) == 6
+        assert box_volume([2], [1]) == 0
+        assert box_volume([5], [5]) == 1
+
+    def test_box_points_array(self):
+        pts = box_points_array([0, 0], [1, 1])
+        assert pts.shape == (4, 2)
+        assert {tuple(p) for p in pts.tolist()} == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_box_points_empty(self):
+        pts = box_points_array([1, 1], [0, 5])
+        assert pts.shape == (0, 2)
+
+    def test_box_points_too_large(self):
+        with pytest.raises(ValueError):
+            box_points_array([0] * 4, [100] * 4)
+
+    def test_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            list(iter_box([0], [1, 2]))
+
+    @given(
+        st.lists(st.integers(-3, 3), min_size=2, max_size=2),
+        st.lists(st.integers(0, 4), min_size=2, max_size=2),
+    )
+    def test_volume_matches_enumeration(self, lo, ext):
+        lo = np.array(lo)
+        hi = lo + np.array(ext)
+        assert box_volume(lo, hi) == box_points_array(lo, hi).shape[0]
