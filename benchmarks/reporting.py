@@ -1,0 +1,54 @@
+"""Route benchmark results through the run-report schema.
+
+Set ``REPRO_BENCH_REPORTS`` to a directory and the instrumented
+``test_e*`` cases write ``BENCH_<name>.json`` there — the same
+schema-versioned document the CLI's ``--json-report`` emits
+(:mod:`repro.obs.report`), so paper-claim regeneration and ad-hoc runs
+produce directly comparable artifacts::
+
+    REPRO_BENCH_REPORTS=reports PYTHONPATH=src \
+        python -m pytest benchmarks -q
+
+Unset (the default, and in CI) this is a no-op: benchmarks assert, but
+write nothing.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import build_report, dump_report
+
+__all__ = ["write_bench_report"]
+
+
+def write_bench_report(
+    name: str,
+    *,
+    processors: int,
+    partition=None,
+    estimate=None,
+    sim=None,
+    program: dict | None = None,
+    meta: dict | None = None,
+) -> str | None:
+    """Write ``BENCH_<name>.json`` if ``REPRO_BENCH_REPORTS`` is set.
+
+    Arguments mirror :func:`repro.obs.report.build_report`.  Returns the
+    path written, or ``None`` when reporting is disabled.
+    """
+    dest = os.environ.get("REPRO_BENCH_REPORTS")
+    if not dest:
+        return None
+    os.makedirs(dest, exist_ok=True)
+    report = build_report(
+        processors=processors,
+        partition=partition,
+        estimate=estimate,
+        sim=sim,
+        program=program,
+        meta=meta,
+    )
+    path = os.path.join(dest, f"BENCH_{name}.json")
+    dump_report(report, path)
+    return path

@@ -22,6 +22,7 @@ from repro.core import (
 from repro.sim import format_table, simulate_nest
 
 from .paper_programs import example2
+from .reporting import write_bench_report
 
 PARTITION_A = [100, 1]  # Figure 3(a): 100x1 strips (j fixed per tile)
 PARTITION_B = [10, 10]  # Figure 3(b): 10x10 blocks
@@ -75,6 +76,13 @@ def test_framework_selects_partition_a(benchmark):
     res = benchmark(lambda: LoopPartitioner(nest, 100).partition())
     assert res.tile.sides.tolist() == PARTITION_A
     assert res.is_communication_free
+    write_bench_report(
+        "e01_example2_partitions",
+        processors=100,
+        partition=res,
+        sim=simulate_nest(nest, res.tile, 100),
+        program={"benchmark": "E1", "claim": "Example 2 / Figure 3"},
+    )
     print()
     print(
         format_table(

@@ -16,6 +16,7 @@ from repro.core import RectangularTile, estimate_traffic
 from repro.sim import format_table, simulate_nest
 
 from .paper_programs import figure9
+from .reporting import write_bench_report
 
 GRIDS = {
     (2, 2, 2): [6, 6, 6],
@@ -84,3 +85,10 @@ def test_first_sweep_cold_after_that_coherence(benchmark):
     assert r.coherence_misses > 0
     single = simulate_nest(nest, tile, 8, sweeps=1)
     assert r.cold_misses == single.cold_misses
+    write_bench_report(
+        "e05_doseq_coherence",
+        processors=8,
+        estimate=estimate_traffic(nest, tile, method="exact"),
+        sim=r,
+        program={"benchmark": "E5", "claim": "Figure 9 Doseq regime"},
+    )

@@ -5,11 +5,21 @@
     python -m repro program.doall -p 16 -D N=64 [--method auto]
                                   [--simulate] [--sweeps 2]
                                   [--pseudocode 0,1] [--data]
+                                  [--json-report out.json]
+                                  [--trace-out trace.jsonl] [--trace-sample 10]
+                                  [--profile] [--log-level debug]
 
 Reads a Doall-language source file (or ``-`` for stdin), runs the full
 pipeline — classify, detect communication-free hyperplanes, optimise the
 tile, predict traffic — and optionally validates the prediction on the
 machine simulator and emits per-processor pseudo-code.
+
+Observability (see :mod:`repro.obs`): ``--json-report`` writes the
+schema-versioned run report (per-phase timings, predicted vs measured
+traffic, per-processor miss breakdown, prediction-error ratios);
+``--trace-out`` writes a sampled JSONL per-access event trace (requires
+``--simulate``); ``--profile`` prints a per-phase wall-time / peak-RSS
+table; ``--log-level`` enables structured diagnostics on stderr.
 """
 
 from __future__ import annotations
@@ -18,13 +28,23 @@ import argparse
 import sys
 
 from .codegen import TileSchedule, emit_pseudocode
-from .core import estimate_traffic
 from .core.partitioner import LoopPartitioner
 from .exceptions import ReproError
 from .lang import lower_nest, parse_program
-from .sim import format_table, simulate_nest
+from .obs import (
+    EventTraceWriter,
+    build_report,
+    configure_logging,
+    dump_report,
+    get_logger,
+    get_tracer,
+    span,
+)
+from .sim import Machine, MachineConfig, format_table, simulate_nest
 
 __all__ = ["main", "build_parser"]
+
+logger = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +84,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also report the data-partitioning (a+) tile choice",
     )
+    p.add_argument(
+        "--json-report",
+        metavar="PATH",
+        help="write the machine-readable run report (repro.obs schema)",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a sampled JSONL per-access event trace (with --simulate)",
+    )
+    p.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every Nth access in the event trace (default 1 = all)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase wall time and peak RSS after the run",
+    )
+    p.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        help="enable repro.* structured logging on stderr at this level",
+    )
     return p
 
 
@@ -80,22 +127,54 @@ def _bindings(defs: list[str]) -> dict[str, int]:
     return out
 
 
+def _profile_table(tracer) -> str:
+    rows = []
+
+    def add(span_node, depth: int) -> None:
+        name = "  " * depth + span_node.name
+        row = [name, f"{span_node.duration * 1e3:.2f}"]
+        row.append(
+            str(span_node.peak_rss_kb) if span_node.peak_rss_kb is not None else "-"
+        )
+        rows.append(row)
+        for c in span_node.children:
+            add(c, depth + 1)
+
+    for root in tracer.roots:
+        add(root, 0)
+    return format_table(["phase", "ms", "peak RSS (KiB)"], rows)
+
+
 def main(argv: list[str] | None = None, *, out=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.trace_sample < 1:
+        parser.error(f"--trace-sample must be >= 1, got {args.trace_sample}")
     out = out or sys.stdout
 
     def emit(text: str = "") -> None:
         print(text, file=out)
 
+    if args.log_level:
+        configure_logging(args.log_level)
+    tracer = get_tracer()
+    tracer.reset()  # report only this run's phases
+    if args.profile:
+        tracer.enable_memory_profiling(True)
+    if args.trace_out and not args.simulate:
+        emit("note: --trace-out has no effect without --simulate")
+
     source = (
         sys.stdin.read() if args.source == "-" else open(args.source).read()
     )
+    bindings = _bindings(args.define)
     try:
-        program = parse_program(source)
+        with span("lang.parse"):
+            program = parse_program(source)
         if len(program.nests) != 1:
             emit(f"note: {len(program.nests)} nests found; partitioning the first")
         node = program.nests[0]
-        nest = lower_nest(node, _bindings(args.define))
+        nest = lower_nest(node, bindings)
     except ReproError as e:
         emit(f"error: {e}")
         return 1
@@ -148,11 +227,33 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
         emit(f"data-partitioning (a+) tile: {dres.tile.sides.tolist()} "
              f"grid {dres.grid}")
 
+    sim = None
     if args.simulate:
         emit()
-        sim = simulate_nest(
-            nest, result.tile, args.processors, sweeps=args.sweeps
-        )
+        machine = Machine(MachineConfig(processors=args.processors))
+        trace_writer = None
+        if args.trace_out:
+            try:
+                trace_writer = EventTraceWriter(args.trace_out, every=args.trace_sample)
+            except OSError as e:
+                emit(f"error: cannot open --trace-out {args.trace_out!r}: {e}")
+                return 1
+        try:
+            sim = simulate_nest(
+                nest,
+                result.tile,
+                args.processors,
+                sweeps=args.sweeps,
+                machine=machine,
+                observer=trace_writer,
+            )
+        finally:
+            if trace_writer is not None:
+                trace_writer.close()
+                emit(
+                    f"event trace: {trace_writer.events_written} of "
+                    f"{trace_writer.events_seen} accesses -> {args.trace_out}"
+                )
         rows = [
             ["mean misses/processor", f"{sim.mean_misses_per_processor():.1f}"],
             ["cold misses", sim.cold_misses],
@@ -170,6 +271,34 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
         )
         emit()
         emit(emit_pseudocode(node, sched, processors=procs))
+
+    if args.json_report:
+        report = build_report(
+            processors=args.processors,
+            partition=result,
+            sim=sim,
+            program={
+                "source": args.source,
+                "processors": args.processors,
+                "bindings": bindings,
+                "extents": nest.space.extents.tolist(),
+                "iterations": int(nest.space.volume),
+                "method": args.method,
+                "sweeps": args.sweeps,
+            },
+        )
+        try:
+            dump_report(report, args.json_report)
+        except OSError as e:
+            emit(f"error: cannot write --json-report {args.json_report!r}: {e}")
+            return 1
+        emit()
+        emit(f"run report -> {args.json_report}")
+        logger.info("wrote run report to %s", args.json_report)
+
+    if args.profile:
+        emit()
+        emit(_profile_table(tracer))
     return 0
 
 

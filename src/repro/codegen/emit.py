@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import LoweringError
+from ..obs.tracing import span
 from ..lang.ast_nodes import (
     AffineExpr,
     Assign,
@@ -106,26 +107,27 @@ def emit_pseudocode(
     """
     seq, par, stmts = _flatten(node)
     procs = processors if processors is not None else list(range(schedule.processors))
-    out = []
-    for p in procs:
-        out.append(f"// processor {p}")
-        indent = 0
-        for sl in seq:
-            out.append("  " * indent + f"for {sl.index} = {_affine_str(sl.lower)} "
-                       f"to {_affine_str(sl.upper)}  // Doseq")
-            indent += 1
-        b = schedule.bounds(p)
-        if b is None:
-            out.append("  " * indent + "// empty tile")
+    with span("codegen.emit", processors=len(procs)):
+        out = []
+        for p in procs:
+            out.append(f"// processor {p}")
+            indent = 0
+            for sl in seq:
+                out.append("  " * indent + f"for {sl.index} = {_affine_str(sl.lower)} "
+                           f"to {_affine_str(sl.upper)}  // Doseq")
+                indent += 1
+            b = schedule.bounds(p)
+            if b is None:
+                out.append("  " * indent + "// empty tile")
+                out.append("")
+                continue
+            for loop, (lo, hi) in zip(par, b):
+                out.append("  " * indent + f"for {loop.index} = {lo} to {hi}")
+                indent += 1
+            for st in stmts:
+                out.append("  " * indent + f"{_rhs_str(st.lhs)} = {_rhs_str(st.rhs)}")
             out.append("")
-            continue
-        for loop, (lo, hi) in zip(par, b):
-            out.append("  " * indent + f"for {loop.index} = {lo} to {hi}")
-            indent += 1
-        for st in stmts:
-            out.append("  " * indent + f"{_rhs_str(st.lhs)} = {_rhs_str(st.rhs)}")
-        out.append("")
-    return "\n".join(out)
+        return "\n".join(out)
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +294,16 @@ def execute_partitioned(
     Must match :func:`execute_sequential` for any legal ``Doall`` program
     — that is the test.
     """
+    with span("codegen.execute_partitioned", processors=schedule.processors):
+        return _execute_partitioned(node, bindings, schedule, arrays)
+
+
+def _execute_partitioned(
+    node: LoopNode,
+    bindings: dict[str, int],
+    schedule: TileSchedule,
+    arrays: dict[str, OffsetArray] | None = None,
+) -> dict[str, OffsetArray]:
     seq, par, stmts = _flatten(node)
     if arrays is None:
         arrays = allocate_arrays(node, bindings)

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..exceptions import OptimizationError, SingularMatrixError
 from ..lattice.snf import integer_kernel_basis, solve_integer
+from ..obs.tracing import span as _span
 from .classify import UISet, partition_references
 from .cumulative import (
     cumulative_footprint_rect,
@@ -115,21 +116,35 @@ class RectOptResult:
     coefficients: np.ndarray
 
 
+def _divisors(p: int) -> list[int]:
+    """Sorted divisors of ``p`` by trial division up to ``sqrt(p)``."""
+    small, large = [], []
+    f = 1
+    while f * f <= p:
+        if p % f == 0:
+            small.append(f)
+            if f * f != p:
+                large.append(p // f)
+        f += 1
+    return small + large[::-1]
+
+
 def factorizations(p: int, l: int):
     """Yield all ordered factorizations of ``p`` into ``l`` positive factors.
 
     ``factorizations(12, 2)`` → (1,12), (2,6), (3,4), (4,3), (6,2), (12,1).
-    Deterministic ascending order in the first factor.
+    Deterministic ascending order in the first factor.  Candidate factors
+    are enumerated from the divisor list (``O(sqrt p)`` to build), not by
+    scanning ``1..p`` — large prime-rich processor counts stay cheap.
     """
     if l < 1 or p < 1:
         raise ValueError("need p >= 1 and l >= 1")
     if l == 1:
         yield (p,)
         return
-    for f in range(1, p + 1):
-        if p % f == 0:
-            for rest in factorizations(p // f, l - 1):
-                yield (f, *rest)
+    for f in _divisors(p):
+        for rest in factorizations(p // f, l - 1):
+            yield (f, *rest)
 
 
 def _continuous_lagrange(a: np.ndarray, extents: np.ndarray, volume: float) -> np.ndarray:
@@ -255,20 +270,21 @@ def optimize_rectangular(
     best_tile: RectangularTile | None = None
     best_grid: tuple[int, ...] | None = None
     ints = space.extents
-    for grid in factorizations(processors, l):
-        if any(p > n for p, n in zip(grid, ints)):
-            continue
-        sides = tuple(-(-int(n) // int(p)) for n, p in zip(ints, grid))
-        tile = RectangularTile(sides)
-        c = score(tile, grid)
-        # Deterministic tie-break: prefer grids closest to the continuous
-        # optimum (ratio distance), then lexicographic.
-        dist = sum(
-            abs(math.log(sd / cs)) for sd, cs in zip(sides, cont) if cs > 0
-        )
-        key = (c, dist, grid)
-        if best_key is None or key < best_key:
-            best_key, best_tile, best_grid = key, tile, grid
+    with _span("optimize.rectangular.grid_search", processors=processors):
+        for grid in factorizations(processors, l):
+            if any(p > n for p, n in zip(grid, ints)):
+                continue
+            sides = tuple(-(-int(n) // int(p)) for n, p in zip(ints, grid))
+            tile = RectangularTile(sides)
+            c = score(tile, grid)
+            # Deterministic tie-break: prefer grids closest to the continuous
+            # optimum (ratio distance), then lexicographic.
+            dist = sum(
+                abs(math.log(sd / cs)) for sd, cs in zip(sides, cont) if cs > 0
+            )
+            key = (c, dist, grid)
+            if best_key is None or key < best_key:
+                best_key, best_tile, best_grid = key, tile, grid
     if best_key is None or best_tile is None or best_grid is None:
         raise OptimizationError(
             f"no feasible processor grid: P={processors}, extents={ints.tolist()}"
@@ -400,27 +416,28 @@ def optimize_parallelepiped(
     )
     best_x = None
     best_f = np.inf
-    for s0 in starts:
-        # Fix the determinant sign of the start.
-        if np.linalg.det(s0) < 0:
-            s0 = s0.copy()
-            s0[0] = -s0[0]
-        try:
-            res = minimize(
-                lambda x: _theorem2_objective(uisets, x, l),
-                np.clip(s0.ravel(), [b[0] for b in var_bounds], [b[1] for b in var_bounds]),
-                method="SLSQP",
-                constraints=[det_con],
-                bounds=var_bounds,
-                options={"maxiter": 300, "ftol": 1e-9},
-            )
-        except (ValueError, FloatingPointError):  # pragma: no cover - scipy hiccups
-            continue
-        if res.success and res.fun < best_f:
-            det = np.linalg.det(res.x.reshape(l, l))
-            if abs(det - v) / v < 1e-3:
-                best_f = float(res.fun)
-                best_x = res.x.copy()
+    with _span("optimize.parallelepiped.minimize", starts=len(starts)):
+        for s0 in starts:
+            # Fix the determinant sign of the start.
+            if np.linalg.det(s0) < 0:
+                s0 = s0.copy()
+                s0[0] = -s0[0]
+            try:
+                res = minimize(
+                    lambda x: _theorem2_objective(uisets, x, l),
+                    np.clip(s0.ravel(), [b[0] for b in var_bounds], [b[1] for b in var_bounds]),
+                    method="SLSQP",
+                    constraints=[det_con],
+                    bounds=var_bounds,
+                    options={"maxiter": 300, "ftol": 1e-9},
+                )
+            except (ValueError, FloatingPointError):  # pragma: no cover - scipy hiccups
+                continue
+            if res.success and res.fun < best_f:
+                det = np.linalg.det(res.x.reshape(l, l))
+                if abs(det - v) / v < 1e-3:
+                    best_f = float(res.fun)
+                    best_x = res.x.copy()
     if best_x is None:
         raise OptimizationError("parallelepiped optimization failed from all starts")
     lm = best_x.reshape(l, l)

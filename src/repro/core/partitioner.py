@@ -18,6 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import OptimizationError, PartitionError
+from ..obs.log import get_logger
+from ..obs.tracing import span
 from .classify import UISet, partition_references
 from .cost import TrafficEstimate, estimate_traffic
 from .loopnest import LoopNest
@@ -32,6 +34,8 @@ from .optimize import (
 from .tiles import ParallelepipedTile, RectangularTile, Tiling
 
 __all__ = ["PartitionResult", "LoopPartitioner"]
+
+logger = get_logger("core.partitioner")
 
 
 @dataclass(frozen=True)
@@ -119,7 +123,8 @@ class LoopPartitioner:
             raise PartitionError(f"need at least 1 processor, got {processors}")
         self.nest = nest
         self.processors = int(processors)
-        self.uisets = tuple(partition_references(nest.accesses))
+        with span("partition.classify", references=len(nest.accesses)):
+            self.uisets = tuple(partition_references(nest.accesses))
 
     # ------------------------------------------------------------------
     def comm_free_basis(self) -> np.ndarray:
@@ -142,29 +147,34 @@ class LoopPartitioner:
         * ``'auto'`` — run both, keep the better *exact* predicted cost.
         """
         space = self.nest.space
-        basis = self.comm_free_basis()
+        with span("partition.comm_free"):
+            basis = self.comm_free_basis()
         rect_res = None
         pe_res = None
         candidates: list[tuple[float, str, ParallelepipedTile, tuple[int, ...] | None]] = []
 
         if method in ("rectangular", "auto"):
-            rect_res = optimize_rectangular(
-                list(self.uisets), space, self.processors, scoring=scoring
-            )
-            est = estimate_traffic(list(self.uisets), rect_res.tile, method="exact")
+            with span("optimize.rectangular", processors=self.processors):
+                rect_res = optimize_rectangular(
+                    list(self.uisets), space, self.processors, scoring=scoring
+                )
+                est = estimate_traffic(list(self.uisets), rect_res.tile, method="exact")
             candidates.append(
                 (est.cold_misses, "rectangular", rect_res.tile, rect_res.grid)
             )
         if method in ("parallelepiped", "auto"):
             volume = space.volume / self.processors
             try:
-                pe_res = optimize_parallelepiped(
-                    list(self.uisets),
-                    volume,
-                    depth=self.nest.depth,
-                    max_extents=space.extents,
-                )
-                est = estimate_traffic(list(self.uisets), pe_res.tile, method="exact")
+                with span("optimize.parallelepiped", processors=self.processors):
+                    pe_res = optimize_parallelepiped(
+                        list(self.uisets),
+                        volume,
+                        depth=self.nest.depth,
+                        max_extents=space.extents,
+                    )
+                    est = estimate_traffic(
+                        list(self.uisets), pe_res.tile, method="exact"
+                    )
                 candidates.append((est.cold_misses, "parallelepiped", pe_res.tile, None))
             except OptimizationError:
                 if method == "parallelepiped":
@@ -173,13 +183,21 @@ class LoopPartitioner:
             raise PartitionError(f"unknown method {method!r}")
         candidates.sort(key=lambda t: t[0])
         cost, chosen_method, tile, grid = candidates[0]
+        logger.debug(
+            "chose %s tile (predicted %.1f misses/tile) among %d candidates",
+            chosen_method,
+            cost,
+            len(candidates),
+        )
+        with span("partition.estimate"):
+            estimate = estimate_traffic(list(self.uisets), tile, method="exact")
         return PartitionResult(
             tile=tile,
             grid=grid,
             uisets=self.uisets,
             comm_free_basis=basis,
             sharing=sharing_directions(list(self.uisets)),
-            estimate=estimate_traffic(list(self.uisets), tile, method="exact"),
+            estimate=estimate,
             method=chosen_method,
             rect_result=rect_res,
             pepiped_result=pe_res,

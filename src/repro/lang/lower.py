@@ -21,6 +21,7 @@ import numpy as np
 from ..core.affine import AccessKind, AffineRef, ArrayAccess
 from ..core.loopnest import Loop, LoopNest
 from ..exceptions import LoweringError
+from ..obs.tracing import span
 from .ast_nodes import Assign, LoopNode, Program, RefNode
 from .parser import parse_program
 
@@ -36,6 +37,11 @@ def _eval_bound(expr, bindings: dict[str, int], what: str) -> int:
 
 def lower_nest(node: LoopNode, bindings: dict[str, int] | None = None) -> LoopNest:
     """Lower one top-level loop to a :class:`LoopNest`."""
+    with span("lang.lower", index=node.index):
+        return _lower_nest(node, bindings)
+
+
+def _lower_nest(node: LoopNode, bindings: dict[str, int] | None = None) -> LoopNest:
     bindings = dict(bindings or {})
     seq_loops: list[Loop] = []
     par_loops: list[Loop] = []

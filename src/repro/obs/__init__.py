@@ -1,0 +1,59 @@
+"""Unified observability layer (tracing · metrics · reporting).
+
+Everything the repository measures flows through this package:
+
+* :mod:`repro.obs.tracing` — nested wall-time spans (``with span("optimize.
+  rectangular"): ...``) with optional peak-RSS capture, wrapped around every
+  pipeline phase (lowering, classification, optimization, codegen,
+  simulation);
+* :mod:`repro.obs.metrics` — a registry of named counters / gauges /
+  histograms the machine simulator publishes into; the public stats
+  dataclasses (:class:`~repro.sim.cache.CacheStats`,
+  :class:`~repro.sim.directory.CoherenceStats`) are *views* over it, so
+  every pre-existing caller keeps working;
+* :mod:`repro.obs.report` — a versioned, machine-readable JSON run report
+  joining the paper's analytic prediction (:class:`~repro.core.cost.
+  TrafficEstimate`) with the measured simulator counts, including
+  prediction-error ratios;
+* :mod:`repro.obs.export` — a sampled per-access JSONL event trace;
+* :mod:`repro.obs.log` — the ``repro`` stdlib-logging hierarchy.
+
+The package is dependency-free (stdlib only) so it can never constrain
+where the analysis or simulator code runs.
+"""
+
+from .log import configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .report import (
+    REPORT_SCHEMA,
+    REPORT_VERSION,
+    ReportError,
+    build_report,
+    dump_report,
+    load_report,
+    validate_report,
+)
+from .export import EventTraceWriter
+from .tracing import Span, Tracer, get_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "ReportError",
+    "build_report",
+    "dump_report",
+    "load_report",
+    "validate_report",
+    "EventTraceWriter",
+    "configure_logging",
+    "get_logger",
+]

@@ -1,0 +1,56 @@
+"""The ``repro`` stdlib-logging hierarchy.
+
+Every module logs under ``repro.<subsystem>`` (``repro.core``,
+``repro.sim``, ``repro.cli`` …) so one call configures the whole tree::
+
+    from repro.obs import configure_logging
+    configure_logging("debug")
+
+Library code only ever *emits*; nothing is printed unless the embedding
+application (or the CLI's ``--log-level``) configures a handler.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+_HANDLER_TAG = "_repro_obs_handler"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger ``repro`` or ``repro.<name>``."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: str | int = "warning", stream=None) -> logging.Logger:
+    """Attach (once) a stderr handler to the ``repro`` tree and set level.
+
+    Idempotent: repeated calls adjust the level of the existing handler
+    rather than stacking new ones.
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    handler = next(
+        (h for h in root.handlers if getattr(h, _HANDLER_TAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return root

@@ -1,0 +1,283 @@
+"""Named counters, gauges and histograms for the simulator (and beyond).
+
+A :class:`MetricsRegistry` is a flat namespace of instruments keyed by
+``(name, labels)``; the simulator's components (:mod:`repro.sim.cache`,
+``directory``, ``network``, ``machine``) create their counters here, and
+the pre-existing stats dataclasses (:class:`~repro.sim.cache.CacheStats`,
+:class:`~repro.sim.directory.CoherenceStats`) are thin *views* over the
+same instruments.
+
+To keep every existing caller working (``stats.read_misses += 1``,
+``assert stats.read_misses == 3``, ``a.read_hits + a.read_misses``),
+:class:`Counter` implements the integer protocol: it compares, adds,
+formats and converts like the int it wraps, and ``+=`` mutates in place.
+
+Scoping: each :class:`~repro.sim.machine.Machine` owns a private registry
+(``machine.metrics``) so concurrent simulations in one process never mix
+counts; :func:`get_registry` returns the process-local default registry
+used for pipeline-level metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+
+
+def _as_number(other):
+    if isinstance(other, (Counter, Gauge)):
+        return other.value
+    return other
+
+
+class Counter:
+    """A monotonically *usable* integer metric (int-like; see module doc).
+
+    Counters normally only go up; ``reset()`` and ``__isub__`` exist for
+    the simulator's between-run resets.
+    """
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: tuple = (), initial: int = 0):
+        self.name = name
+        self.labels = labels
+        self._value = int(initial)
+
+    # -- metric interface ------------------------------------------------
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        self._value += n
+
+    def reset(self) -> None:
+        self._value = 0
+
+    # -- int protocol (keeps stats-dataclass callers unchanged) ----------
+    def __int__(self) -> int:
+        return self._value
+
+    __index__ = __int__
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __eq__(self, other) -> bool:
+        return self._value == _as_number(other)
+
+    def __ne__(self, other) -> bool:
+        return self._value != _as_number(other)
+
+    def __lt__(self, other):
+        return self._value < _as_number(other)
+
+    def __le__(self, other):
+        return self._value <= _as_number(other)
+
+    def __gt__(self, other):
+        return self._value > _as_number(other)
+
+    def __ge__(self, other):
+        return self._value >= _as_number(other)
+
+    def __add__(self, other):
+        return self._value + _as_number(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._value - _as_number(other)
+
+    def __rsub__(self, other):
+        return _as_number(other) - self._value
+
+    def __mul__(self, other):
+        return self._value * _as_number(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._value / _as_number(other)
+
+    def __rtruediv__(self, other):
+        return _as_number(other) / self._value
+
+    def __neg__(self):
+        return -self._value
+
+    def __iadd__(self, n):
+        self._value += _as_number(n)
+        return self
+
+    def __isub__(self, n):
+        self._value -= _as_number(n)
+        return self
+
+    __hash__ = object.__hash__  # identity: counters are mutable
+
+    def __format__(self, spec: str) -> str:
+        return format(self._value, spec)
+
+    def __repr__(self) -> str:
+        lbl = f", {dict(self.labels)}" if self.labels else ""
+        return f"Counter({self.name}={self._value}{lbl})"
+
+    def __str__(self) -> str:
+        return str(self._value)
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = (), initial=0):
+        self.name = name
+        self.labels = labels
+        self.value = initial
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Distribution of observed integer values (exact small-domain bins).
+
+    Designed for protocol quantities with small integer support (sharer
+    counts, invalidations per write); each distinct value keeps its own
+    bin, which is exact and JSON-friendly.
+    """
+
+    __slots__ = ("name", "labels", "bins", "count", "total")
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.bins: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value) -> None:
+        v = int(value)
+        self.bins[v] = self.bins.get(v, 0) + 1
+        self.count += 1
+        self.total += v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bins.clear()
+        self.count = 0
+        self.total = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "bins": {str(k): v for k, v in sorted(self.bins.items())},
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by ``(name, labels)``."""
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._metrics: dict[tuple, object] = {}
+
+    def _get(self, cls, name: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        m = self._metrics.get(key)
+        if m is None:
+            m = cls(name, key[1])
+            self._metrics[key] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r}{labels or ''} already registered as "
+                f"{type(m).__name__}, requested {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def total(self, name: str) -> int:
+        """Sum of a counter across every label combination."""
+        return sum(
+            m.value
+            for m in self._metrics.values()
+            if isinstance(m, Counter) and m.name == name
+        )
+
+    def by_label(self, name: str, label: str) -> dict:
+        """``label value → counter value`` for one counter name."""
+        out: dict = {}
+        for m in self._metrics.values():
+            if isinstance(m, Counter) and m.name == name:
+                lbl = dict(m.labels).get(label)
+                if lbl is not None:
+                    out[lbl] = out.get(lbl, 0) + m.value
+        return out
+
+    def reset(self) -> None:
+        for m in self._metrics.values():
+            m.reset()
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready dump of every instrument (stable order)."""
+        out = []
+        for (name, labels), m in sorted(
+            self._metrics.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+        ):
+            entry: dict = {"name": name}
+            if labels:
+                entry["labels"] = {k: v for k, v in labels}
+            if isinstance(m, Counter):
+                entry["type"] = "counter"
+                entry["value"] = m.value
+            elif isinstance(m, Gauge):
+                entry["type"] = "gauge"
+                entry["value"] = m.value
+            else:
+                entry["type"] = "histogram"
+                entry.update(m.to_dict())
+            out.append(entry)
+        return out
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local default registry (pipeline-level metrics)."""
+    return _registry

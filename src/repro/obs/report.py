@@ -1,0 +1,306 @@
+"""Versioned, machine-readable run reports.
+
+The report is the single artifact of one pipeline run: what program was
+partitioned, what tile was chosen, what the analytic model *predicted*
+(cumulative footprints, Eq. 2 / Theorems 2–4), what the MSI machine
+simulator *measured*, and how far apart the two are — the predicted-vs-
+measured loop that EXPERIMENTS.md documents, as data instead of prose.
+
+The schema is intentionally duck-typed over the repository's result
+objects (``PartitionResult``, ``TrafficEstimate``, ``SimulationResult``)
+so this module imports nothing outside the stdlib and can never create an
+import cycle with the layers it observes.
+
+Top-level shape (version 1)::
+
+    {
+      "schema": "repro.run-report",
+      "version": 1,
+      "generated_by": "repro <version>",
+      "program":   {...},              # source, processors, bindings, space
+      "partition": {...},              # method, tile, grid, comm-free
+      "predicted": {...},              # per-tile analytic traffic
+      "measured":  {...},              # simulator counts (when simulated)
+      "prediction_error": {...},       # ratios predicted vs measured
+      "spans":     [...],              # per-phase wall time (tracing)
+      "metrics":   [...]               # raw registry snapshot
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "ReportError",
+    "build_report",
+    "predicted_section",
+    "measured_section",
+    "prediction_error_section",
+    "dump_report",
+    "load_report",
+    "validate_report",
+]
+
+REPORT_SCHEMA = "repro.run-report"
+REPORT_VERSION = 1
+
+_REQUIRED_KEYS = ("schema", "version", "generated_by", "program", "predicted")
+_REQUIRED_MEASURED_KEYS = ("total_misses", "miss_breakdown", "per_processor", "network")
+
+
+class ReportError(ValueError):
+    """A report violates the schema."""
+
+
+def _ratio(measured: float, predicted: float) -> float | None:
+    return (measured / predicted) if predicted else None
+
+
+def predicted_section(estimate) -> dict:
+    """Serialise a :class:`~repro.core.cost.TrafficEstimate`."""
+    return {
+        "cold_misses_per_tile": float(estimate.cold_misses),
+        "coherence_traffic_per_tile": float(estimate.coherence_traffic),
+        "tile_iterations": float(estimate.tile_iterations),
+        "by_array": {k: float(v) for k, v in estimate.by_array().items()},
+        "classes": [
+            {
+                "array": c.uiset.array,
+                "references": c.uiset.size,
+                "footprint": float(c.footprint),
+                "single_footprint": float(c.single_footprint),
+                "boundary": float(c.boundary),
+            }
+            for c in estimate.classes
+        ],
+    }
+
+
+def partition_section(result) -> dict:
+    """Serialise a :class:`~repro.core.partitioner.PartitionResult`."""
+    out: dict = {
+        "method": result.method,
+        "communication_free": bool(result.is_communication_free),
+        "l_matrix": result.tile.l_matrix.tolist(),
+    }
+    if getattr(result.tile, "sides", None) is not None:
+        out["tile_sides"] = [int(s) for s in result.tile.sides]
+    if result.grid is not None:
+        out["grid"] = [int(g) for g in result.grid]
+    return out
+
+
+def _per_processor_breakdown(sim) -> dict[int, dict[str, int]]:
+    """cold/coherence/replacement per processor, from the machine registry."""
+    out: dict[int, dict[str, int]] = {}
+    machine = getattr(sim, "machine", None)
+    registry = getattr(machine, "metrics", None)
+    if registry is None:
+        return out
+    for m in registry:
+        if getattr(m, "name", "") == "sim.directory.miss_class":
+            labels = dict(m.labels)
+            proc, kind = labels.get("proc"), labels.get("kind")
+            if proc is None or kind is None:
+                continue
+            out.setdefault(int(proc), {})[kind] = int(m.value)
+    return out
+
+
+def measured_section(sim) -> dict:
+    """Serialise a :class:`~repro.sim.executor.SimulationResult`."""
+    breakdown = _per_processor_breakdown(sim)
+    per_proc = []
+    for p in sim.processors:
+        entry = {
+            "processor": p.processor,
+            "iterations": p.iterations,
+            "accesses": p.accesses,
+            "hits": p.hits,
+            "misses": p.misses,
+            "read_misses": p.read_misses,
+            "write_misses": p.write_misses,
+            "write_upgrades": p.write_upgrades,
+            "local_misses": p.local_misses,
+            "remote_misses": p.remote_misses,
+            "memory_cost": p.memory_cost,
+            "footprint": dict(p.footprint),
+            "miss_breakdown": {
+                "cold": 0,
+                "coherence": 0,
+                "replacement": 0,
+                **breakdown.get(p.processor, {}),
+            },
+        }
+        per_proc.append(entry)
+    out: dict = {
+        "sweeps": sim.sweeps,
+        "total_accesses": sim.total_accesses,
+        "total_misses": sim.total_misses,
+        "miss_rate": sim.miss_rate,
+        "mean_misses_per_processor": sim.mean_misses_per_processor(),
+        "max_misses_per_processor": sim.max_misses_per_processor,
+        "miss_breakdown": {
+            "cold": int(sim.cold_misses),
+            "coherence": int(sim.coherence_misses),
+            "replacement": int(sim.capacity_misses),
+        },
+        "invalidations": int(sim.invalidations),
+        "network": {
+            "messages": int(sim.network_messages),
+            "hops": int(sim.network_hops),
+        },
+        "shared_elements": dict(sim.shared_elements),
+        "per_processor": per_proc,
+    }
+    machine = getattr(sim, "machine", None)
+    if machine is not None:
+        out["sharer_histogram"] = {
+            str(k): v for k, v in sorted(machine.directory.sharer_histogram().items())
+        }
+        recv = sum(int(c.stats.invalidations_received) for c in machine.caches)
+        probe = sum(int(c.stats.probe_invalidations) for c in machine.caches)
+        out["invalidation_reconciliation"] = {
+            "directory_sent": int(sim.invalidations),
+            "caches_received": recv,
+            "probe_misses": probe,
+            "reconciled": recv + probe == int(sim.invalidations),
+        }
+    return out
+
+
+def prediction_error_section(estimate, sim, processors: int) -> dict:
+    """Predicted-vs-measured ratios (the repository's yardstick numbers).
+
+    ``ratio`` is measured / predicted (1.0 = the model is exact);
+    ``rel_error`` is ``(measured - predicted) / predicted``.
+    """
+
+    def entry(predicted: float, measured: float) -> dict:
+        return {
+            "predicted": predicted,
+            "measured": measured,
+            "ratio": _ratio(measured, predicted),
+            "rel_error": ((measured - predicted) / predicted) if predicted else None,
+        }
+
+    predicted_per_tile = float(estimate.cold_misses)
+    out = {
+        "misses_per_processor": entry(
+            predicted_per_tile, sim.mean_misses_per_processor()
+        ),
+        "total_misses": entry(predicted_per_tile * processors, float(sim.total_misses)),
+    }
+    if sim.sweeps > 1:
+        # Steady-state sweeps: the Figure 9 regime — boundary terms only.
+        extra_sweeps = sim.sweeps - 1
+        out["coherence_misses_per_sweep"] = entry(
+            float(estimate.coherence_traffic) * processors,
+            float(sim.coherence_misses) / extra_sweeps,
+        )
+    return out
+
+
+def build_report(
+    *,
+    processors: int,
+    partition=None,
+    estimate=None,
+    sim=None,
+    program: dict | None = None,
+    spans: list[dict] | None = None,
+    metrics: list[dict] | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Assemble a schema-versioned report from pipeline artifacts.
+
+    ``partition`` is a ``PartitionResult`` (its estimate is used when
+    ``estimate`` is not given); ``sim`` a ``SimulationResult``; ``spans``
+    defaults to the process tracer's completed spans; ``metrics`` defaults
+    to the simulated machine's registry snapshot.
+    """
+    try:
+        from .. import __version__ as _version
+    except Exception:  # pragma: no cover
+        _version = "unknown"
+    if estimate is None and partition is not None:
+        estimate = partition.estimate
+    if estimate is None:
+        raise ReportError("build_report needs an estimate or a partition result")
+    if spans is None:
+        from .tracing import get_tracer
+
+        spans = get_tracer().to_dicts()
+    if metrics is None and sim is not None:
+        registry = getattr(getattr(sim, "machine", None), "metrics", None)
+        metrics = registry.snapshot() if registry is not None else []
+    report: dict = {
+        "schema": REPORT_SCHEMA,
+        "version": REPORT_VERSION,
+        "generated_by": f"repro {_version}",
+        "program": dict(program or {}),
+        "predicted": predicted_section(estimate),
+        "spans": spans or [],
+        "metrics": metrics or [],
+    }
+    report["program"].setdefault("processors", int(processors))
+    if partition is not None:
+        report["partition"] = partition_section(partition)
+    if sim is not None:
+        report["measured"] = measured_section(sim)
+        report["prediction_error"] = prediction_error_section(
+            estimate, sim, processors
+        )
+    if meta:
+        report["meta"] = dict(meta)
+    return validate_report(report)
+
+
+def validate_report(report: dict) -> dict:
+    """Check the schema contract; returns the report for chaining."""
+    if not isinstance(report, dict):
+        raise ReportError(f"report must be a dict, got {type(report).__name__}")
+    for key in _REQUIRED_KEYS:
+        if key not in report:
+            raise ReportError(f"report missing required key {key!r}")
+    if report["schema"] != REPORT_SCHEMA:
+        raise ReportError(f"unknown schema {report['schema']!r}")
+    if report["version"] != REPORT_VERSION:
+        raise ReportError(
+            f"unsupported report version {report['version']!r} "
+            f"(this reader handles {REPORT_VERSION})"
+        )
+    if "measured" in report:
+        measured = report["measured"]
+        for key in _REQUIRED_MEASURED_KEYS:
+            if key not in measured:
+                raise ReportError(f"measured section missing {key!r}")
+        for key in ("cold", "coherence", "replacement"):
+            if key not in measured["miss_breakdown"]:
+                raise ReportError(f"miss_breakdown missing {key!r}")
+    return report
+
+
+def dump_report(report: dict, path) -> None:
+    """Validate and write a report as pretty-printed JSON."""
+    validate_report(report)
+    if hasattr(path, "write"):
+        json.dump(report, path, indent=2)
+        path.write("\n")
+    else:
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+
+
+def load_report(path) -> dict:
+    """Read and validate a report written by :func:`dump_report`."""
+    if hasattr(path, "read"):
+        report = json.load(path)
+    else:
+        with open(path) as fh:
+            report = json.load(fh)
+    return validate_report(report)

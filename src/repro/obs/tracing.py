@@ -1,0 +1,156 @@
+"""Nested-span tracing for the partitioning pipeline.
+
+A :class:`Span` measures the wall time of one pipeline phase; spans nest,
+so a phase's children (e.g. ``optimize.rectangular`` inside
+``partition.partition``) appear under it in the finished trace.  Usage::
+
+    from repro.obs import span
+
+    with span("optimize.rectangular", processors=16):
+        ...
+
+Timing uses :func:`time.perf_counter` (monotonic), so a parent's duration
+always bounds the sum of its children's.  With profiling enabled
+(:meth:`Tracer.enable_memory_profiling` or the CLI's ``--profile``), each
+span additionally records the process peak RSS at span exit (a high-water
+mark — monotone across spans, useful for spotting *which* phase first
+pushed memory up).
+
+The process-local default tracer is always on; completed root spans are
+kept in a bounded deque so long-running processes (the benchmark suite
+simulates thousands of nests) never accumulate unbounded trace state.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+try:  # POSIX only; absent on some platforms — RSS capture degrades to None.
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+__all__ = ["Span", "Tracer", "get_tracer", "span"]
+
+
+def _peak_rss_kb() -> int | None:
+    if _resource is None:  # pragma: no cover
+        return None
+    # ru_maxrss is KiB on Linux, bytes on macOS; normalise to KiB.
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass
+class Span:
+    """One timed phase; ``children`` are the spans opened inside it."""
+
+    name: str
+    start: float
+    attrs: dict = field(default_factory=dict)
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    peak_rss_kb: int | None = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from entry to exit (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def to_dict(self) -> dict:
+        d: dict = {"name": self.name, "duration_s": round(self.duration, 9)}
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        if self.peak_rss_kb is not None:
+            d["peak_rss_kb"] = self.peak_rss_kb
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+class Tracer:
+    """Collects a process-local tree of completed spans.
+
+    ``max_roots`` bounds retention: only the most recent completed
+    top-level spans are kept (children live inside their root).
+    """
+
+    def __init__(self, *, profile_memory: bool = False, max_roots: int = 4096):
+        self.profile_memory = profile_memory and _resource is not None
+        self.roots: deque[Span] = deque(maxlen=max_roots)
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        s = Span(name=name, start=time.perf_counter(), attrs=attrs)
+        self._stack.append(s)
+        try:
+            yield s
+        finally:
+            s.end = time.perf_counter()
+            if self.profile_memory:
+                s.peak_rss_kb = _peak_rss_kb()
+            # Pop *this* span even if a child leaked (defensive).
+            while self._stack and self._stack[-1] is not s:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+            parent = self._stack[-1] if self._stack else None
+            if parent is not None:
+                parent.children.append(s)
+            else:
+                self.roots.append(s)
+
+    def enable_memory_profiling(self, on: bool = True) -> None:
+        self.profile_memory = bool(on) and _resource is not None
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+    def walk(self) -> Iterator[Span]:
+        """Every completed span, depth-first across roots."""
+        for r in list(self.roots):
+            yield from r.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All completed spans with the given name, in completion order."""
+        return [s for s in self.walk() if s.name == name]
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-ready list of root span trees (most recent last)."""
+        return [r.to_dict() for r in self.roots]
+
+    def phase_totals(self) -> dict[str, float]:
+        """Total seconds per span name, summed over every occurrence."""
+        totals: dict[str, float] = {}
+        for s in self.walk():
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration
+        return totals
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-local default tracer."""
+    return _tracer
+
+
+def span(name: str, **attrs):
+    """Open a span on the default tracer (context manager)."""
+    return _tracer.span(name, **attrs)

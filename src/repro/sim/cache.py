@@ -13,8 +13,9 @@ address is any hashable, in practice ``(array_name, flat_index)``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 import enum
+
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["LineState", "Cache", "CacheStats"]
 
@@ -26,30 +27,62 @@ class LineState(enum.Enum):
     MODIFIED = "M"
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction counters for one cache.
 
-    read_hits: int = 0
-    read_misses: int = 0
-    write_hits: int = 0
-    write_misses: int = 0
-    write_upgrades: int = 0
-    evictions: int = 0
-    invalidations_received: int = 0
+    Each field is an int-like :class:`~repro.obs.metrics.Counter`
+    published in a metrics registry (the owning machine's, or a private
+    one for standalone caches) — reads, comparisons and ``+=`` behave
+    exactly as the former plain-int dataclass did.
+    """
+
+    FIELDS = (
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "write_upgrades",
+        "evictions",
+        "invalidations_received",
+        "probe_invalidations",
+    )
+
+    __slots__ = FIELDS
+
+    def __init__(self, *, registry: MetricsRegistry | None = None, **labels):
+        registry = registry if registry is not None else MetricsRegistry()
+        for name in self.FIELDS:
+            setattr(self, name, registry.counter(f"sim.cache.{name}", **labels))
 
     @property
     def accesses(self) -> int:
-        return self.read_hits + self.read_misses + self.write_hits + self.write_misses + self.write_upgrades
+        return int(
+            self.read_hits
+            + self.read_misses
+            + self.write_hits
+            + self.write_misses
+            + self.write_upgrades
+        )
 
     @property
     def misses(self) -> int:
         """All memory-visible events: misses plus S→M upgrades."""
-        return self.read_misses + self.write_misses + self.write_upgrades
+        return int(self.read_misses + self.write_misses + self.write_upgrades)
 
     @property
     def hits(self) -> int:
-        return self.read_hits + self.write_hits
+        return int(self.read_hits + self.write_hits)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return all(
+            int(getattr(self, f)) == int(getattr(other, f)) for f in self.FIELDS
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={int(getattr(self, f))}" for f in self.FIELDS)
+        return f"CacheStats({inner})"
 
 
 class Cache:
@@ -60,12 +93,18 @@ class Cache:
     machine can account traffic.
     """
 
-    def __init__(self, capacity: int | None = None):
+    def __init__(
+        self,
+        capacity: int | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        **labels,
+    ):
         if capacity is not None and capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lines: OrderedDict = OrderedDict()
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry=registry, **labels)
 
     def __len__(self) -> int:
         return len(self._lines)
@@ -121,11 +160,17 @@ class Cache:
         self._lines[addr] = state
 
     def invalidate(self, addr) -> bool:
-        """Drop a line at directory request; True if it was present."""
+        """Drop a line at directory request; True if it was present.
+
+        A probe for a line already lost to LRU eviction counts under
+        ``probe_invalidations``, so directory-sent invalidation messages
+        always reconcile: sent == received + probe misses.
+        """
         if addr in self._lines:
             del self._lines[addr]
             self.stats.invalidations_received += 1
             return True
+        self.stats.probe_invalidations += 1
         return False
 
     def downgrade(self, addr) -> bool:

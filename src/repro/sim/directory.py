@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..exceptions import SimulationError
+from ..obs.metrics import MetricsRegistry
 from .cache import Cache, LineState
 
 __all__ = ["Directory", "CoherenceStats", "DirectoryEntry"]
@@ -38,16 +39,40 @@ class DirectoryEntry:
     owner: int | None = None
 
 
-@dataclass
 class CoherenceStats:
-    """Machine-wide protocol event counters."""
+    """Machine-wide protocol event counters.
 
-    cold_fills: int = 0          # first-ever fetch of an address
-    coherence_misses: int = 0    # miss on a previously-invalidated line
-    capacity_misses: int = 0     # miss on a line lost to LRU eviction
-    invalidations: int = 0       # individual invalidation messages
-    downgrades: int = 0          # M -> S interventions
-    writebacks: int = 0          # dirty data returned to home
+    A view over int-like registry counters (see
+    :mod:`repro.obs.metrics`); field semantics are unchanged from the
+    former plain-int dataclass.
+    """
+
+    FIELDS = (
+        "cold_fills",        # first-ever fetch of an address
+        "coherence_misses",  # miss on a previously-invalidated line
+        "capacity_misses",   # miss on a line lost to LRU eviction
+        "invalidations",     # individual invalidation messages
+        "downgrades",        # M -> S interventions
+        "writebacks",        # dirty data returned to home
+    )
+
+    __slots__ = FIELDS
+
+    def __init__(self, *, registry: MetricsRegistry | None = None, **labels):
+        registry = registry if registry is not None else MetricsRegistry()
+        for name in self.FIELDS:
+            setattr(self, name, registry.counter(f"sim.directory.{name}", **labels))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CoherenceStats):
+            return NotImplemented
+        return all(
+            int(getattr(self, f)) == int(getattr(other, f)) for f in self.FIELDS
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={int(getattr(self, f))}" for f in self.FIELDS)
+        return f"CoherenceStats({inner})"
 
 
 class Directory:
@@ -58,15 +83,24 @@ class Directory:
     equivalent to per-node directories since addresses have unique homes.
     """
 
-    def __init__(self, caches: list[Cache]):
+    def __init__(self, caches: list[Cache], *, registry: MetricsRegistry | None = None):
         self.caches = caches
         self.entries: dict = {}
-        self.stats = CoherenceStats()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.stats = CoherenceStats(registry=self.metrics)
+        # Sharer count seen by each serviced write (how many other copies
+        # the protocol had to take down) — the coherence-cost distribution.
+        self._sharers_at_write = self.metrics.histogram(
+            "sim.directory.sharers_at_write"
+        )
         # Per-processor cause tracking: addr -> set of procs whose copy was
         # invalidated (to classify the next miss as a coherence miss).
         self._invalidated_at: dict = {}
         self._evicted_at: dict = {}
         self._ever_filled: set = set()
+
+    def _count_miss_class(self, kind: str, proc: int) -> None:
+        self.metrics.counter("sim.directory.miss_class", kind=kind, proc=proc).inc()
 
     def _entry(self, addr) -> DirectoryEntry:
         e = self.entries.get(addr)
@@ -79,13 +113,21 @@ class Directory:
         inv = self._invalidated_at.get(addr)
         if inv and proc in inv:
             self.stats.coherence_misses += 1
+            self._count_miss_class("coherence", proc)
             inv.discard(proc)
             return
         ev = self._evicted_at.get(addr)
         if ev and proc in ev:
             self.stats.capacity_misses += 1
+            self._count_miss_class("replacement", proc)
             ev.discard(proc)
             return
+        # Not invalidation- or eviction-caused, so this is the requester's
+        # first fetch of the address: a per-processor cold miss.  The
+        # machine-wide ``cold_fills`` keeps its original meaning (first
+        # fetch by *anyone*), so the per-processor cold counts may sum to
+        # more than it when several processors each first-touch an address.
+        self._count_miss_class("cold", proc)
         if addr not in self._ever_filled:
             self.stats.cold_fills += 1
 
@@ -134,6 +176,12 @@ class Directory:
         e = self._entry(addr)
         if not upgrade:
             self._classify_miss(addr, proc)
+        # How many other copies this write must take down (sharers plus a
+        # remote owner) — observed before the protocol acts.
+        holders = len(e.sharers - {proc})
+        if e.owner is not None and e.owner != proc and e.owner not in e.sharers:
+            holders += 1
+        self._sharers_at_write.observe(holders)
         msgs = [(proc, -1)]
         if e.owner is not None and e.owner != proc:
             owner = e.owner

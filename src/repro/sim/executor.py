@@ -27,11 +27,15 @@ import numpy as np
 from ..core.loopnest import LoopNest
 from ..core.tiles import ParallelepipedTile, Tiling
 from ..exceptions import SimulationError
+from ..obs.log import get_logger
+from ..obs.tracing import span
 from .machine import Machine, MachineConfig
 from .memory import AddressMap
 from .trace import assign_tiles_to_processors, tile_accesses
 
 __all__ = ["ProcessorStats", "SimulationResult", "simulate_nest"]
+
+logger = get_logger("sim.executor")
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,7 @@ def simulate_nest(
     check_invariants: bool = False,
     line_size: int = 1,
     cache_enabled: bool = True,
+    observer=None,
 ) -> SimulationResult:
     """Run ``sweeps`` executions of the nest under the given partition.
 
@@ -121,6 +126,9 @@ def simulate_nest(
     cached between sweeps; traffic after the first sweep is pure
     coherence).  If the nest itself carries ``sequential_loops``, their
     total trip count is used when ``sweeps`` is left at 1.
+
+    ``observer`` (``(proc, array, coords, kind, hit) -> None``) sees every
+    access — e.g. a :class:`repro.obs.export.EventTraceWriter`.
     """
     if sweeps == 1 and nest.has_sequential_wrapper:
         sweeps = 1
@@ -143,78 +151,90 @@ def simulate_nest(
         )
     elif machine.p != processors:
         raise SimulationError("machine size does not match processor count")
+    if observer is not None:
+        machine.observer = observer
 
-    tiling = Tiling(nest.space, tile)
-    blocks = assign_tiles_to_processors(tiling, processors)
-    traces = {
-        p: tile_accesses(nest, its) if its.size else []
-        for p, its in blocks.items()
-    }
+    with span("sim.trace", processors=processors):
+        tiling = Tiling(nest.space, tile)
+        blocks = assign_tiles_to_processors(tiling, processors)
+        traces = {
+            p: tile_accesses(nest, its) if its.size else []
+            for p, its in blocks.items()
+        }
 
-    # Footprints and sharing measured from the traces themselves.
-    touched: list[dict[str, set]] = [dict() for _ in range(processors)]
-    for p, trace in traces.items():
-        for events in trace:
-            for ev in events:
-                touched[p].setdefault(ev.array, set()).add(ev.coords)
+        # Footprints and sharing measured from the traces themselves.
+        touched: list[dict[str, set]] = [dict() for _ in range(processors)]
+        for p, trace in traces.items():
+            for events in trace:
+                for ev in events:
+                    touched[p].setdefault(ev.array, set()).add(ev.coords)
 
-    for sweep in range(sweeps):
-        if interleave == "sequential":
-            for p in range(processors):
-                for events in traces[p]:
-                    for ev in events:
-                        machine.access(p, ev.array, ev.coords, ev.kind)
-        else:
-            longest = max((len(t) for t in traces.values()), default=0)
-            for step in range(longest):
+    logger.debug(
+        "simulating %d iterations on P=%d (%d sweeps, %s interleave)",
+        sum(len(t) for t in traces.values()),
+        processors,
+        sweeps,
+        interleave,
+    )
+    with span("sim.execute", sweeps=sweeps, interleave=interleave):
+        for sweep in range(sweeps):
+            if interleave == "sequential":
                 for p in range(processors):
-                    t = traces[p]
-                    if step < len(t):
-                        for ev in t[step]:
+                    for events in traces[p]:
+                        for ev in events:
                             machine.access(p, ev.array, ev.coords, ev.kind)
-        if check_invariants:
-            machine.check()
+            else:
+                longest = max((len(t) for t in traces.values()), default=0)
+                for step in range(longest):
+                    for p in range(processors):
+                        t = traces[p]
+                        if step < len(t):
+                            for ev in t[step]:
+                                machine.access(p, ev.array, ev.coords, ev.kind)
+            if check_invariants:
+                machine.check()
 
-    per_proc = []
-    for p in range(processors):
-        st = machine.caches[p].stats
-        per_proc.append(
-            ProcessorStats(
-                processor=p,
-                iterations=len(traces[p]),
-                accesses=st.accesses,
-                hits=st.hits,
-                misses=st.misses,
-                read_misses=st.read_misses,
-                write_misses=st.write_misses,
-                write_upgrades=st.write_upgrades,
-                local_misses=machine.local_miss_count[p],
-                remote_misses=machine.remote_miss_count[p],
-                memory_cost=machine.memory_cost[p],
-                footprint={a: len(s) for a, s in touched[p].items()},
-            )
-        )
-
-    # Elements touched by more than one processor, per array.
-    shared: dict[str, int] = {}
-    arrays = {a for t in touched for a in t}
-    for a in sorted(arrays):
-        seen: dict[tuple, int] = {}
+    with span("sim.collect"):
+        per_proc = []
         for p in range(processors):
-            for el in touched[p].get(a, ()):
-                seen[el] = seen.get(el, 0) + 1
-        shared[a] = sum(1 for c in seen.values() if c > 1)
+            st = machine.caches[p].stats
+            per_proc.append(
+                ProcessorStats(
+                    processor=p,
+                    iterations=len(traces[p]),
+                    accesses=st.accesses,
+                    hits=st.hits,
+                    misses=st.misses,
+                    read_misses=int(st.read_misses),
+                    write_misses=int(st.write_misses),
+                    write_upgrades=int(st.write_upgrades),
+                    local_misses=int(machine.local_miss_count[p]),
+                    remote_misses=int(machine.remote_miss_count[p]),
+                    memory_cost=int(machine.memory_cost[p]),
+                    footprint={a: len(s) for a, s in touched[p].items()},
+                )
+            )
+
+        # Elements touched by more than one processor, per array.
+        shared: dict[str, int] = {}
+        arrays = {a for t in touched for a in t}
+        for a in sorted(arrays):
+            seen: dict[tuple, int] = {}
+            for p in range(processors):
+                for el in touched[p].get(a, ()):
+                    seen[el] = seen.get(el, 0) + 1
+            shared[a] = sum(1 for c in seen.values() if c > 1)
 
     d = machine.directory.stats
     return SimulationResult(
         processors=tuple(per_proc),
         sweeps=sweeps,
-        cold_misses=d.cold_fills,
-        coherence_misses=d.coherence_misses,
-        capacity_misses=d.capacity_misses,
-        invalidations=d.invalidations,
-        network_messages=machine.network.messages,
-        network_hops=machine.network.hops,
+        cold_misses=int(d.cold_fills),
+        coherence_misses=int(d.coherence_misses),
+        capacity_misses=int(d.capacity_misses),
+        invalidations=int(d.invalidations),
+        network_messages=int(machine.network.messages),
+        network_hops=int(machine.network.hops),
         shared_elements=shared,
         machine=machine,
     )

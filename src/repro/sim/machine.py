@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..exceptions import SimulationError
+from ..obs.metrics import MetricsRegistry
 from .cache import Cache
 from .directory import Directory
 from .memory import AddressMap, flat_address_map
@@ -65,6 +66,7 @@ class Machine:
         *,
         address_map: AddressMap | None = None,
         network=None,
+        registry: MetricsRegistry | None = None,
     ):
         if isinstance(config, int):
             config = MachineConfig(processors=config)
@@ -72,13 +74,33 @@ class Machine:
             raise SimulationError("need at least one processor")
         self.config = config
         self.p = config.processors
-        self.caches = [Cache(config.cache_capacity) for _ in range(self.p)]
-        self.directory = Directory(self.caches)
+        # Every component publishes into this machine's registry; machines
+        # own their registries so concurrent simulations never mix counts.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.caches = [
+            Cache(config.cache_capacity, registry=self.metrics, proc=i)
+            for i in range(self.p)
+        ]
+        self.directory = Directory(self.caches, registry=self.metrics)
         self.address_map = address_map or flat_address_map(self.p)
-        self.network = network or MeshNetwork(self.p, config.mesh_shape)
-        self.local_miss_count = [0] * self.p
-        self.remote_miss_count = [0] * self.p
-        self.memory_cost = [0] * self.p
+        self.network = network or MeshNetwork(
+            self.p, config.mesh_shape, registry=self.metrics
+        )
+        self.local_miss_count = [
+            self.metrics.counter("sim.machine.local_misses", proc=i)
+            for i in range(self.p)
+        ]
+        self.remote_miss_count = [
+            self.metrics.counter("sim.machine.remote_misses", proc=i)
+            for i in range(self.p)
+        ]
+        self.memory_cost = [
+            self.metrics.counter("sim.machine.memory_cost", proc=i)
+            for i in range(self.p)
+        ]
+        # Optional per-access observer ``(proc, array, coords, kind, hit)``
+        # — e.g. :class:`repro.obs.export.EventTraceWriter`.
+        self.observer = None
 
     # ------------------------------------------------------------------
     def _account_messages(self, msgs, home: int) -> None:
@@ -107,8 +129,15 @@ class Machine:
         """One memory access; returns True on a cache hit.
 
         ``kind`` ∈ {'read', 'write', 'sync'}; sync behaves as write
-        (Appendix A).
+        (Appendix A).  When an :attr:`observer` is attached it sees every
+        access (element coordinates, pre line-grouping) after servicing.
         """
+        hit = self._access(proc, array, coords, kind)
+        if self.observer is not None:
+            self.observer(proc, array, coords, kind, hit)
+        return hit
+
+    def _access(self, proc: int, array: str, coords: tuple[int, ...], kind: str) -> bool:
         if not 0 <= proc < self.p:
             raise SimulationError(f"no such processor {proc}")
         if kind not in ("read", "write", "sync"):

@@ -16,6 +16,8 @@ import math
 import networkx as nx
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["MeshNetwork", "GraphNetwork", "best_mesh_shape"]
 
 
@@ -31,15 +33,22 @@ def best_mesh_shape(nodes: int) -> tuple[int, int]:
 class MeshNetwork:
     """2-D mesh with dimension-ordered (Manhattan) routing."""
 
-    def __init__(self, nodes: int, shape: tuple[int, int] | None = None):
+    def __init__(
+        self,
+        nodes: int,
+        shape: tuple[int, int] | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ):
         if nodes < 1:
             raise ValueError("need at least one node")
         self.nodes = nodes
         self.shape = shape or best_mesh_shape(nodes)
         if self.shape[0] * self.shape[1] < nodes:
             raise ValueError(f"mesh {self.shape} too small for {nodes} nodes")
-        self.messages = 0
-        self.hops = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self.messages = registry.counter("sim.network.messages")
+        self.hops = registry.counter("sim.network.hops")
 
     def coords(self, node: int) -> tuple[int, int]:
         return divmod(node, self.shape[1])
@@ -57,14 +66,14 @@ class MeshNetwork:
         return d
 
     def reset(self) -> None:
-        self.messages = 0
-        self.hops = 0
+        self.messages.reset()
+        self.hops.reset()
 
 
 class GraphNetwork:
     """Arbitrary topology via networkx; shortest-path hop distances."""
 
-    def __init__(self, graph: nx.Graph):
+    def __init__(self, graph: nx.Graph, *, registry: MetricsRegistry | None = None):
         if graph.number_of_nodes() == 0:
             raise ValueError("empty topology")
         if not nx.is_connected(graph):
@@ -79,8 +88,9 @@ class GraphNetwork:
         for src, lengths in nx.all_pairs_shortest_path_length(graph):
             for dst, d in lengths.items():
                 self._dist[self._index[src], self._index[dst]] = d
-        self.messages = 0
-        self.hops = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self.messages = registry.counter("sim.network.messages")
+        self.hops = registry.counter("sim.network.hops")
 
     def distance(self, a: int, b: int) -> int:
         return int(self._dist[a, b])
@@ -92,5 +102,5 @@ class GraphNetwork:
         return d
 
     def reset(self) -> None:
-        self.messages = 0
-        self.hops = 0
+        self.messages.reset()
+        self.hops.reset()

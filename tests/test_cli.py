@@ -102,3 +102,74 @@ class TestCLI:
         code, out = run_cli([str(f), "-p", "2"])
         assert code == 0
         assert "2 nests found" in out
+
+
+class TestObservabilityFlags:
+    def test_json_report_matches_simulator(self, ex8_file, tmp_path):
+        from repro.core.partitioner import LoopPartitioner
+        from repro.lang import compile_nest
+        from repro.obs import load_report
+        from repro.sim import simulate_nest
+
+        path = tmp_path / "report.json"
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--simulate",
+             "--json-report", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        report = load_report(str(path))  # validates schema + version
+        # The simulator is deterministic: an independent run must agree.
+        nest = compile_nest(EX8, {"N": 12})
+        result = LoopPartitioner(nest, 8).partition()
+        sim = simulate_nest(nest, result.tile, 8)
+        assert report["measured"]["total_misses"] == sim.total_misses
+        assert report["program"]["processors"] == 8
+        assert report["program"]["bindings"] == {"N": 12}
+        span_names = {s["name"] for s in report["spans"]}
+        assert {"lang.parse", "lang.lower", "optimize.rectangular",
+                "sim.execute"} <= span_names
+
+    def test_json_report_without_simulate(self, ex8_file, tmp_path):
+        from repro.obs import load_report
+
+        path = tmp_path / "report.json"
+        code, _ = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--json-report", str(path)]
+        )
+        assert code == 0
+        report = load_report(str(path))
+        assert "measured" not in report
+        assert report["predicted"]["cold_misses_per_tile"] > 0
+
+    def test_trace_out(self, ex8_file, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--simulate",
+             "--trace-out", str(path), "--trace-sample", "5"]
+        )
+        assert code == 0
+        assert "event trace:" in out
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert lines, "trace file is empty"
+        assert all(e["seq"] % 5 == 0 for e in lines)
+
+    def test_trace_out_requires_simulate_note(self, ex8_file, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--trace-out", str(path)]
+        )
+        assert code == 0
+        assert "no effect without --simulate" in out
+        assert not path.exists()
+
+    def test_profile_table(self, ex8_file):
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--simulate", "--profile"]
+        )
+        assert code == 0
+        assert "phase" in out
+        assert "optimize.rectangular" in out
+        assert "sim.execute" in out

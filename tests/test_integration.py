@@ -40,6 +40,7 @@ def test_predicted_misses_equal_measured(fixture_name, request):
     assert sim.mean_misses_per_processor() == pytest.approx(est.cold_misses)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("fixture_name", ALL_EXAMPLES)
 def test_optimal_beats_naive(fixture_name, request):
     """The chosen partition is never worse than rows/cols/square blocks."""
@@ -101,6 +102,7 @@ class TestScaling:
 
 
 class TestFiniteCaches:
+    @pytest.mark.slow
     def test_optimal_shape_unchanged(self, example8_nest):
         """Section 2.2: small caches change totals, not the optimal aspect
         ratio ordering."""

@@ -150,9 +150,15 @@ class TestMachine:
 class TestDeterministicHoming:
     def test_mix_is_process_independent(self):
         """The interleave hash must not depend on PYTHONHASHSEED."""
+        import os
         import subprocess
         import sys
 
+        import repro
+
+        # The child needs to import repro too; point it at whatever src/
+        # directory this interpreter loaded the package from.
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
         code = (
             "from repro.sim.memory import flat_address_map;"
             "am = flat_address_map(7);"
@@ -164,7 +170,11 @@ class TestDeterministicHoming:
                 [sys.executable, "-c", code],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": seed,
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": src_dir,
+                },
                 timeout=120,
             )
             assert proc.returncode == 0, proc.stderr
