@@ -4,6 +4,7 @@
 
     python -m repro program.doall -p 16 -D N=64 [--method auto]
                                   [--simulate] [--sweeps 2]
+                                  [--engine auto|fast|exact] [--workers N]
                                   [--pseudocode 0,1] [--data]
                                   [--json-report out.json]
                                   [--trace-out trace.jsonl] [--trace-sample 10]
@@ -74,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the partitioned nest on the machine simulator",
     )
     p.add_argument("--sweeps", type=int, default=1, help="Doseq sweeps to simulate")
+    p.add_argument(
+        "--engine",
+        choices=["auto", "fast", "exact"],
+        default="auto",
+        help="simulator execution engine: 'fast' resolves provably-private "
+        "lines in bulk, 'exact' drives every access through the MSI "
+        "protocol, 'auto' picks fast when its preconditions hold",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="fan the fast engine's bulk phase out over N processes",
+    )
     p.add_argument(
         "--pseudocode",
         metavar="PROCS",
@@ -246,7 +261,12 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
                 sweeps=args.sweeps,
                 machine=machine,
                 observer=trace_writer,
+                engine=args.engine,
+                workers=args.workers,
             )
+        except ReproError as e:
+            emit(f"error: {e}")
+            return 1
         finally:
             if trace_writer is not None:
                 trace_writer.close()

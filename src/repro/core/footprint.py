@@ -28,10 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._util import int_det, int_rank
-from ..lattice.points import (
-    count_distinct_images,
-    parallelepiped_lattice_points,
-)
+from ..lattice.points import DEFAULT_LATTICE_CACHE
 from .affine import AffineRef
 from .tiles import ParallelepipedTile, RectangularTile
 
@@ -123,7 +120,7 @@ def footprint_size(ref: AffineRef, tile: ParallelepipedTile) -> int:
             j = int(np.nonzero(v)[0][0])
             coeffs = [int(row[j]) // int(v[j]) for row in g]
             return _TABLE.lookup(coeffs, tile.extents)
-        return count_distinct_images(g, np.zeros(l, dtype=np.int64), tile.extents)
+        return DEFAULT_LATTICE_CACHE.count_distinct_images(g, tile.extents)
 
     # General parallelepiped with dependent rows: enumerate.
     return footprint_size_exact(r, tile)
@@ -140,7 +137,7 @@ def footprint_size_theorem1(ref: AffineRef, tile: ParallelepipedTile) -> int:
     lg = tile.l_matrix @ r.g
     if lg.shape[0] != lg.shape[1]:
         raise ValueError("Theorem 1 needs a square L·G (full-rank reference)")
-    return parallelepiped_lattice_points(lg)
+    return DEFAULT_LATTICE_CACHE.parallelepiped_lattice_points(lg)
 
 
 __all__.append("footprint_size_theorem1")

@@ -32,6 +32,7 @@ from itertools import combinations
 import numpy as np
 
 from ..exceptions import OptimizationError, SingularMatrixError
+from ..lattice.points import LatticeCountCache
 from ..lattice.snf import integer_kernel_basis, solve_integer
 from ..obs.tracing import span as _span
 from .classify import UISet, partition_references
@@ -202,6 +203,7 @@ def optimize_rectangular(
     processors: int,
     *,
     scoring: str = "theorem4",
+    cache: LatticeCountCache | None = None,
 ) -> RectOptResult:
     """Find the best rectangular tile for ``P`` processors (Examples 8-10).
 
@@ -216,6 +218,13 @@ def optimize_rectangular(
     The returned grid is exact load balancing when ``p_i | N_i``; boundary
     tiles are smaller otherwise (paper: tiles equal "except at the
     boundaries of the iteration space").
+
+    ``cache`` memoises the exact lattice enumerations of the grid search
+    (many factorisations share tile sides, e.g. transposed grids of a
+    square space).  Defaults to a fresh :class:`LatticeCountCache` per
+    call; pass a shared instance to reuse counts across calls — e.g. a
+    processor-count sweep over one nest, where every ``P`` re-scores
+    overlapping side sets.
     """
     uisets = _as_uisets(accesses_or_sets)
     l = space.depth
@@ -225,6 +234,8 @@ def optimize_rectangular(
         raise OptimizationError(
             f"cannot split {space.volume} iterations over {processors} processors"
         )
+    if cache is None:
+        cache = LatticeCountCache()
     a = rect_cost_coefficients(uisets, l)
     if not np.any(a):
         # No partition-sensitive traffic at all: any load-balanced tile is
@@ -232,13 +243,48 @@ def optimize_rectangular(
         a = np.ones(l)
     cont = _continuous_lagrange(np.where(a > 0, a, 0.0), extents.astype(np.int64), volume)
 
-    def class_footprint(s: UISet, tile: RectangularTile) -> float:
-        if scoring == "exact":
-            return float(cumulative_footprint_size_exact(s, tile))
+    # Grid-invariant per-class quantities, computed once.  The scoring
+    # loop visits every factorisation of P; re-deriving the exact rational
+    # spread solve and the kernel basis per candidate dominated its cost.
+    spread_u: list[np.ndarray | None] = []
+    kernels: list[np.ndarray] = []
+    for s in uisets:
         try:
-            return cumulative_footprint_rect(s, tile)
+            spread_u.append(spread_coefficients(s))
         except SingularMatrixError:
-            return float(cumulative_footprint_size_exact(s, tile))
+            spread_u.append(None)
+        kernels.append(integer_kernel_basis(s.g))
+
+    def exact_footprint(s: UISet, tile: RectangularTile) -> float:
+        # The exact union size depends only on the class geometry (G and
+        # offsets up to a common translation, Proposition 1) and the tile
+        # sides — the memoisation key.
+        key = (
+            "cumulative-exact",
+            s.g.shape,
+            s.g.tobytes(),
+            (s.offsets - s.offsets[0]).tobytes(),
+            tuple(int(x) for x in tile.sides),
+        )
+        return cache.get_or_compute(
+            key, lambda: float(cumulative_footprint_size_exact(s, tile))
+        )
+
+    def class_footprint(idx: int, s: UISet, tile: RectangularTile) -> float:
+        if scoring == "exact":
+            return exact_footprint(s, tile)
+        u = spread_u[idx]
+        if u is None:
+            # No Theorem-4 coefficients (dependent rows): exact fallback,
+            # as cumulative_footprint_rect would have raised.
+            return exact_footprint(s, tile)
+        # Theorem 4 with the precomputed u — same expression as
+        # cumulative_footprint_rect evaluates, term for term.
+        sides = tile.sides.astype(float)
+        total = float(np.prod(sides))
+        for i, ui in enumerate(u):
+            total += float(ui) * float(np.prod(np.delete(sides, i)))
+        return total
 
     def score(tile: RectangularTile, grid: tuple[int, ...]) -> float:
         """Per-tile footprint plus a write-sharing coherence penalty.
@@ -254,10 +300,10 @@ def optimize_rectangular(
         that keep ``C`` private.
         """
         total = 0.0
-        for s in uisets:
-            fp = class_footprint(s, tile)
+        for idx, s in enumerate(uisets):
+            fp = class_footprint(idx, s, tile)
             total += fp
-            ker = integer_kernel_basis(s.g)
+            ker = kernels[idx]
             if s.has_write() and ker.size:
                 m = 1
                 for k, p_k in enumerate(grid):

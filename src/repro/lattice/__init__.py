@@ -28,6 +28,8 @@ from .unimodular import (
 )
 from .lattice import Lattice, BoundedLattice
 from .points import (
+    DEFAULT_LATTICE_CACHE,
+    LatticeCountCache,
     count_distinct_images,
     parallelepiped_lattice_points,
     parallelogram_boundary_points,
@@ -50,4 +52,6 @@ __all__ = [
     "parallelepiped_lattice_points",
     "parallelogram_boundary_points",
     "distinct_values_1d",
+    "LatticeCountCache",
+    "DEFAULT_LATTICE_CACHE",
 ]

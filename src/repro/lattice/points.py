@@ -46,6 +46,8 @@ __all__ = [
     "distinct_values_1d",
     "FootprintTable",
     "DEFAULT_FOOTPRINT_TABLE",
+    "LatticeCountCache",
+    "DEFAULT_LATTICE_CACHE",
 ]
 
 
@@ -379,3 +381,136 @@ class FootprintTable:
 
 #: Shared default table used by :func:`repro.core.footprint.footprint_size`.
 DEFAULT_FOOTPRINT_TABLE = FootprintTable()
+
+
+class LatticeCountCache:
+    """Memoised exact lattice counts for the optimiser's hot loop.
+
+    :func:`count_distinct_images` and
+    :func:`parallelepiped_lattice_points` are enumeration oracles — exact
+    but expensive, and the rectangular-tile grid search evaluates them for
+    the same ``(G, extents)`` over and over (many grids share tile sides,
+    and distinct references often share a reduced ``G``).  This cache
+    keys each count on a *canonical form* that quotients out the count's
+    invariances, so geometrically equivalent queries hit:
+
+    * zero rows and zero-extent rows contribute nothing to the image —
+      dropped;
+    * negating a row reflects (and integer-translates) the image without
+      changing its size — rows are sign-normalised on their first nonzero
+      entry;
+    * reordering rows (with their extents) relabels loop dimensions —
+      ``(row, extent)`` pairs are sorted.
+
+    The gcd of a row is *not* divided out: unlike the 1-D
+    :class:`FootprintTable`, scaling one row of a multi-column ``G``
+    changes the image lattice geometry, so it is not an invariance here.
+
+    On a miss the count is recomputed *from the canonical form itself*,
+    so a key collision can only map to the correct value.
+    """
+
+    def __init__(self):
+        self._table: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- canonicalisation ------------------------------------------------
+    @staticmethod
+    def _canonical_rows(g, extents=None) -> tuple:
+        """Canonical ``(row, extent)`` pairs (or bare rows when no extents)."""
+        g = as_int_matrix(np.atleast_2d(g), name="G")
+        if extents is None:
+            ext_list = [1] * g.shape[0]
+        else:
+            ext = as_int_vector(extents, name="extents")
+            if ext.shape[0] != g.shape[0]:
+                raise ValueError("extents length must match row count of G")
+            if np.any(ext < 0):
+                return ("empty",)
+            ext_list = ext.tolist()
+        pairs = []
+        for row, e in zip(g.tolist(), ext_list):
+            if e == 0 or not any(row):
+                continue
+            first = next(v for v in row if v)
+            if first < 0:
+                row = [-v for v in row]
+            pairs.append((tuple(row), e))
+        pairs.sort()
+        return tuple(pairs)
+
+    @classmethod
+    def canonical_key(cls, g, extents) -> tuple:
+        """Public canonical key for a box-image count (testing hook)."""
+        return cls._canonical_rows(g, extents)
+
+    # -- memoised oracles ------------------------------------------------
+    def count_distinct_images(self, g, extents) -> int:
+        """Memoised :func:`count_distinct_images` over ``[0, extents]``."""
+        key = ("img", self._canonical_rows(g, extents))
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        pairs = key[1]
+        if pairs == ("empty",):
+            value = 0
+        elif not pairs:
+            value = 1
+        else:
+            rows = np.array([list(r) for r, _ in pairs], dtype=np.int64)
+            ext = np.array([e for _, e in pairs], dtype=np.int64)
+            value = count_distinct_images(rows, np.zeros_like(ext), ext)
+        self._table[key] = value
+        return value
+
+    def parallelepiped_lattice_points(self, q) -> int:
+        """Memoised :func:`parallelepiped_lattice_points` of ``S(Q)``."""
+        key = ("ppd", self._canonical_rows(q))
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        rows = key[1]
+        if not rows:
+            value = 1
+        else:
+            value = parallelepiped_lattice_points(
+                np.array([list(r) for r, _ in rows], dtype=np.int64)
+            )
+        self._table[key] = value
+        return value
+
+    def get_or_compute(self, key, fn):
+        """Generic memoisation under a caller-supplied hashable key.
+
+        ``fn`` must be deterministic for the key and must not return
+        ``None`` (absence marker).  Used by the optimiser for exact
+        cumulative-footprint evaluations whose invariances (class ``G``,
+        translated offsets, tile sides) the caller canonicalises itself.
+        """
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = fn()
+        self._table[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache shared by the footprint call sites
+#: (:mod:`repro.core.footprint`); optimiser calls create private instances
+#: by default so their enumeration counts are reproducible per call.
+DEFAULT_LATTICE_CACHE = LatticeCountCache()

@@ -175,6 +175,20 @@ class Histogram:
         self.count += 1
         self.total += v
 
+    def observe_bulk(self, value, n: int) -> None:
+        """Record ``n`` observations of the same ``value`` at once.
+
+        Equivalent to ``n`` calls to :meth:`observe`; used by bulk
+        accounting paths (e.g. the fast simulator engine) where looping
+        per observation would dominate.
+        """
+        if n <= 0:
+            return
+        v = int(value)
+        self.bins[v] = self.bins.get(v, 0) + n
+        self.count += n
+        self.total += v * n
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

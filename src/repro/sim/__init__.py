@@ -26,8 +26,9 @@ from .directory import Directory, CoherenceStats
 from .memory import AddressMap, block_address_map, flat_address_map
 from .network import MeshNetwork, GraphNetwork
 from .machine import Machine, MachineConfig
-from .trace import tile_accesses, nest_trace
+from .trace import RefStream, reference_streams, tile_accesses, nest_trace
 from .executor import simulate_nest, SimulationResult, ProcessorStats
+from .fast import supports_fast_path
 from .stats import format_table
 
 __all__ = [
@@ -42,9 +43,12 @@ __all__ = [
     "GraphNetwork",
     "Machine",
     "MachineConfig",
+    "RefStream",
+    "reference_streams",
     "tile_accesses",
     "nest_trace",
     "simulate_nest",
+    "supports_fast_path",
     "SimulationResult",
     "ProcessorStats",
     "format_table",

@@ -103,7 +103,9 @@ class Cache:
         if capacity is not None and capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lines: OrderedDict = OrderedDict()
+        # LRU recency bookkeeping only matters when evictions can happen;
+        # unbounded caches use a plain dict (faster lookups and updates).
+        self._lines: dict = OrderedDict() if capacity is not None else {}
         self.stats = CacheStats(registry=registry, **labels)
 
     def __len__(self) -> int:
@@ -116,7 +118,8 @@ class Cache:
         return self._lines.get(addr)
 
     def _touch(self, addr) -> None:
-        self._lines.move_to_end(addr)
+        if self.capacity is not None:
+            self._lines.move_to_end(addr)
 
     def lookup_read(self, addr) -> bool:
         """Probe for a read; returns hit and updates stats/LRU."""
@@ -151,7 +154,7 @@ class Cache:
                 self.stats.evictions += 1
                 evicted.append(victim)
         self._lines[addr] = state
-        self._lines.move_to_end(addr)
+        self._touch(addr)
         return evicted
 
     def set_state(self, addr, state: LineState) -> None:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..exceptions import SimulationError
 from ..obs.metrics import MetricsRegistry
 from .cache import Cache, LineState
@@ -31,7 +33,7 @@ from .cache import Cache, LineState
 __all__ = ["Directory", "CoherenceStats", "DirectoryEntry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for one address."""
 
@@ -214,6 +216,74 @@ class Directory:
         for victim in self.caches[proc].fill(addr, state):
             self.note_eviction(victim, proc)
         self._ever_filled.add(addr)
+
+    def bulk_install(
+        self, proc: int, array: str, line_coords, *, modified: bool
+    ) -> None:
+        """Install lines proven private to ``proc`` (fast engine).
+
+        ``line_coords`` is an ``(N, d)`` integer array of line
+        coordinates.  ``modified=True`` leaves every line in M with
+        ``proc`` as owner (the state the exact protocol ends in after the
+        line's last write — a written analytic line is by construction
+        private to one processor), ``False`` in S with ``proc`` the sole
+        sharer.  Event counters are *not* touched — the caller accounts
+        misses, upgrades and messages in bulk; this keeps the directory
+        entries, caches and ``_ever_filled`` consistent so
+        :meth:`check_invariants`, :meth:`sharer_histogram` and later
+        accesses see the same state the scalar path would have produced.
+        """
+        cache = self.caches[proc]
+        if cache.capacity is not None:
+            raise SimulationError("bulk install requires an unbounded cache")
+        addrs = [(array, tuple(row)) for row in line_coords.tolist()]
+        state = LineState.MODIFIED if modified else LineState.SHARED
+        owner = proc if modified else None
+        cache._lines.update(dict.fromkeys(addrs, state))
+        self.entries.update(
+            (a, DirectoryEntry(sharers={proc}, owner=owner)) for a in addrs
+        )
+        self._ever_filled.update(addrs)
+
+    def bulk_install_shared(self, array: str, line_coords, touch) -> None:
+        """Install globally read-only lines at every toucher (fast engine).
+
+        ``touch`` is a ``(P, N)`` boolean matrix: ``touch[p, i]`` marks
+        processor ``p`` as having read line ``i``.  Every touched copy
+        ends in S; the directory entry records the full sharer set, no
+        owner — the state the exact protocol reaches for a never-written
+        line regardless of access order.  Counters are the caller's job,
+        as in :meth:`bulk_install`.
+        """
+        addrs = [(array, tuple(row)) for row in line_coords.tolist()]
+        for p, cache in enumerate(self.caches):
+            sel = np.flatnonzero(touch[p])
+            if sel.size == 0:
+                continue
+            if cache.capacity is not None:
+                raise SimulationError("bulk install requires an unbounded cache")
+            cache._lines.update(
+                dict.fromkeys((addrs[i] for i in sel.tolist()), LineState.SHARED)
+            )
+        entries = self.entries
+        nprocs = touch.shape[0]
+        if nprocs <= 62:
+            # Group lines by sharer bitmask: distinct sharer *sets* are few
+            # (tile-boundary patterns), so decode each mask only once.
+            weights = np.left_shift(np.int64(1), np.arange(nprocs, dtype=np.int64))
+            masks = touch.T.astype(np.int64) @ weights
+            decoded: dict[int, list[int]] = {}
+            for addr, m in zip(addrs, masks.tolist()):
+                procs = decoded.get(m)
+                if procs is None:
+                    procs = decoded[m] = [p for p in range(nprocs) if (m >> p) & 1]
+                entries[addr] = DirectoryEntry(sharers=set(procs), owner=None)
+        else:  # pragma: no cover - machines beyond bitmask range
+            for i, addr in enumerate(addrs):
+                entries[addr] = DirectoryEntry(
+                    sharers=set(np.flatnonzero(touch[:, i]).tolist()), owner=None
+                )
+        self._ever_filled.update(addrs)
 
     # ------------------------------------------------------------------
     def sharer_histogram(self) -> dict[int, int]:

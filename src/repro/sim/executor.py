@@ -29,9 +29,10 @@ from ..core.tiles import ParallelepipedTile, Tiling
 from ..exceptions import SimulationError
 from ..obs.log import get_logger
 from ..obs.tracing import span
+from .fast import collect_footprints, execute_fast, supports_fast_path
 from .machine import Machine, MachineConfig
 from .memory import AddressMap
-from .trace import assign_tiles_to_processors, tile_accesses
+from .trace import assign_tiles_to_processors, reference_streams
 
 __all__ = ["ProcessorStats", "SimulationResult", "simulate_nest"]
 
@@ -73,7 +74,7 @@ class SimulationResult:
     network_messages: int
     network_hops: int
     shared_elements: dict[str, int]
-    machine: Machine = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+    machine: Machine | None = field(repr=False, compare=False, default=None)
 
     @property
     def total_misses(self) -> int:
@@ -105,6 +106,40 @@ class SimulationResult:
         return sum(p.footprint.get(array, 0) for p in active) / len(active)
 
 
+def _execute_exact(
+    streams,
+    machine: Machine,
+    processors: int,
+    *,
+    sweeps: int,
+    interleave: str,
+    check_invariants: bool,
+) -> None:
+    """Drive every access through the scalar MSI protocol."""
+    # (array, kind, per-iteration coordinate tuples) per reference per proc.
+    refs = {
+        p: [(s.array, s.kind, [tuple(row) for row in s.coords.tolist()]) for s in st]
+        for p, st in streams.items()
+    }
+    counts = {p: (int(st[0].coords.shape[0]) if st else 0) for p, st in streams.items()}
+    access = machine.access
+    for _sweep in range(sweeps):
+        if interleave == "sequential":
+            for p in range(processors):
+                for n in range(counts[p]):
+                    for array, kind, coords in refs[p]:
+                        access(p, array, coords[n], kind)
+        else:
+            longest = max(counts.values(), default=0)
+            for step in range(longest):
+                for p in range(processors):
+                    if step < counts[p]:
+                        for array, kind, coords in refs[p]:
+                            access(p, array, coords[step], kind)
+        if check_invariants:
+            machine.check()
+
+
 def simulate_nest(
     nest: LoopNest,
     tile: ParallelepipedTile,
@@ -119,6 +154,8 @@ def simulate_nest(
     line_size: int = 1,
     cache_enabled: bool = True,
     observer=None,
+    engine: str = "auto",
+    workers: int | None = None,
 ) -> SimulationResult:
     """Run ``sweeps`` executions of the nest under the given partition.
 
@@ -129,7 +166,19 @@ def simulate_nest(
 
     ``observer`` (``(proc, array, coords, kind, hit) -> None``) sees every
     access — e.g. a :class:`repro.obs.export.EventTraceWriter`.
+
+    ``engine`` selects the execution strategy: ``'exact'`` drives every
+    access through the scalar MSI protocol; ``'fast'`` resolves
+    provably-private lines in bulk (:mod:`repro.sim.fast`) and replays
+    only the shared residue exactly — identical results, order-of-
+    magnitude faster on private-heavy programs; ``'auto'`` (default)
+    uses the fast engine whenever its preconditions hold (fresh
+    infinite-cache coherent machine, no observer) and falls back to
+    exact otherwise.  ``workers`` optionally fans the fast engine's bulk
+    phase out over a process pool.
     """
+    if engine not in ("auto", "fast", "exact"):
+        raise SimulationError(f"unknown engine {engine!r}")
     if sweeps == 1 and nest.has_sequential_wrapper:
         sweeps = 1
         for l in nest.sequential_loops:
@@ -157,42 +206,48 @@ def simulate_nest(
     with span("sim.trace", processors=processors):
         tiling = Tiling(nest.space, tile)
         blocks = assign_tiles_to_processors(tiling, processors)
-        traces = {
-            p: tile_accesses(nest, its) if its.size else []
-            for p, its in blocks.items()
-        }
+        streams = {p: reference_streams(nest, its) for p, its in blocks.items()}
 
-        # Footprints and sharing measured from the traces themselves.
-        touched: list[dict[str, set]] = [dict() for _ in range(processors)]
-        for p, trace in traces.items():
-            for events in trace:
-                for ev in events:
-                    touched[p].setdefault(ev.array, set()).add(ev.coords)
+        # Footprints and sharing measured from the streams themselves.
+        footprints, shared = collect_footprints(streams, processors)
+
+    fast_ok = supports_fast_path(machine, observer)
+    if engine == "fast" and not fast_ok:
+        raise SimulationError(
+            "engine='fast' requires a fresh machine with coherent caching "
+            "enabled, unbounded capacity, and no observer; use engine='auto' "
+            "to fall back to the exact engine instead"
+        )
+    use_fast = engine in ("fast", "auto") and fast_ok
 
     logger.debug(
-        "simulating %d iterations on P=%d (%d sweeps, %s interleave)",
-        sum(len(t) for t in traces.values()),
+        "simulating %d iterations on P=%d (%d sweeps, %s interleave, %s engine)",
+        sum(b.shape[0] for b in blocks.values()),
         processors,
         sweeps,
         interleave,
+        "fast" if use_fast else "exact",
     )
     with span("sim.execute", sweeps=sweeps, interleave=interleave):
-        for sweep in range(sweeps):
-            if interleave == "sequential":
-                for p in range(processors):
-                    for events in traces[p]:
-                        for ev in events:
-                            machine.access(p, ev.array, ev.coords, ev.kind)
-            else:
-                longest = max((len(t) for t in traces.values()), default=0)
-                for step in range(longest):
-                    for p in range(processors):
-                        t = traces[p]
-                        if step < len(t):
-                            for ev in t[step]:
-                                machine.access(p, ev.array, ev.coords, ev.kind)
-            if check_invariants:
-                machine.check()
+        if use_fast:
+            execute_fast(
+                nest,
+                streams,
+                machine,
+                sweeps=sweeps,
+                interleave=interleave,
+                check_invariants=check_invariants,
+                workers=workers,
+            )
+        else:
+            _execute_exact(
+                streams,
+                machine,
+                processors,
+                sweeps=sweeps,
+                interleave=interleave,
+                check_invariants=check_invariants,
+            )
 
     with span("sim.collect"):
         per_proc = []
@@ -201,7 +256,7 @@ def simulate_nest(
             per_proc.append(
                 ProcessorStats(
                     processor=p,
-                    iterations=len(traces[p]),
+                    iterations=int(blocks[p].shape[0]),
                     accesses=st.accesses,
                     hits=st.hits,
                     misses=st.misses,
@@ -211,19 +266,9 @@ def simulate_nest(
                     local_misses=int(machine.local_miss_count[p]),
                     remote_misses=int(machine.remote_miss_count[p]),
                     memory_cost=int(machine.memory_cost[p]),
-                    footprint={a: len(s) for a, s in touched[p].items()},
+                    footprint=footprints[p],
                 )
             )
-
-        # Elements touched by more than one processor, per array.
-        shared: dict[str, int] = {}
-        arrays = {a for t in touched for a in t}
-        for a in sorted(arrays):
-            seen: dict[tuple, int] = {}
-            for p in range(processors):
-                for el in touched[p].get(a, ()):
-                    seen[el] = seen.get(el, 0) + 1
-            shared[a] = sum(1 for c in seen.values() if c > 1)
 
     d = machine.directory.stats
     return SimulationResult(

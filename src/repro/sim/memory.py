@@ -72,14 +72,36 @@ class AddressMap:
         self._block_maps[array] = (lower, sides, g2n)
 
     @staticmethod
-    def _mix(array: str, coords) -> int:
-        """Deterministic element hash (Python's ``hash`` is salted per
-        process; simulations must reproduce across runs)."""
+    def _mix_prefix(array: str) -> int:
+        """FNV-1a state after hashing the array name alone."""
         h = 2166136261
         for ch in array:
             h = (h ^ ord(ch)) * 16777619 % (1 << 32)
+        return h
+
+    @classmethod
+    def _mix(cls, array: str, coords) -> int:
+        """Deterministic element hash (Python's ``hash`` is salted per
+        process; simulations must reproduce across runs)."""
+        h = cls._mix_prefix(array)
         for c in coords:
             h = (h ^ (int(c) & 0xFFFFFFFF)) * 16777619 % (1 << 32)
+        return h
+
+    @classmethod
+    def _mix_vector(cls, array: str, coords: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_mix` over the rows of an ``(N, d)`` array.
+
+        Bit-identical to the scalar hash: state stays below ``2**32`` and
+        the multiplier below ``2**24``, so the uint64 products never wrap.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        h = np.full(coords.shape[0], cls._mix_prefix(array), dtype=np.uint64)
+        mult = np.uint64(16777619)
+        mask = np.uint64(0xFFFFFFFF)
+        for k in range(coords.shape[1]):
+            c = (coords[:, k] & 0xFFFFFFFF).astype(np.uint64)
+            h = ((h ^ c) * mult) & mask
         return h
 
     def home(self, array: str, coords: tuple[int, ...]) -> int:
@@ -108,9 +130,8 @@ class AddressMap:
             return g2n[tuple(block[:, k] for k in range(block.shape[1]))]
         if self.default_policy == "node0":
             return np.zeros(n, dtype=np.int64)
-        return np.array(
-            [self._mix(array, c) % self.nodes for c in coords],
-            dtype=np.int64,
+        return (self._mix_vector(array, coords) % np.uint64(self.nodes)).astype(
+            np.int64
         )
 
 

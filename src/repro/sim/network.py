@@ -65,6 +65,14 @@ class MeshNetwork:
         self.hops += d
         return d
 
+    def send_bulk(self, src: int, dst: int, count: int) -> None:
+        """Account ``count`` messages between one src/dst pair at once."""
+        if count <= 0:
+            return
+        d = self.distance(src, dst)
+        self.messages += count
+        self.hops += d * count
+
     def reset(self) -> None:
         self.messages.reset()
         self.hops.reset()
@@ -100,6 +108,14 @@ class GraphNetwork:
         self.messages += 1
         self.hops += d
         return d
+
+    def send_bulk(self, src: int, dst: int, count: int) -> None:
+        """Account ``count`` messages between one src/dst pair at once."""
+        if count <= 0:
+            return
+        d = self.distance(src, dst)
+        self.messages += count
+        self.hops += d * count
 
     def reset(self) -> None:
         self.messages.reset()

@@ -19,7 +19,14 @@ from ..core.affine import AccessKind
 from ..core.loopnest import LoopNest
 from ..core.tiles import ParallelepipedTile, Tiling
 
-__all__ = ["AccessEvent", "tile_accesses", "nest_trace", "assign_tiles_to_processors"]
+__all__ = [
+    "AccessEvent",
+    "RefStream",
+    "reference_streams",
+    "tile_accesses",
+    "nest_trace",
+    "assign_tiles_to_processors",
+]
 
 
 @dataclass(frozen=True)
@@ -31,10 +38,52 @@ class AccessEvent:
     kind: str
 
 
+@dataclass(frozen=True)
+class RefStream:
+    """Batched accesses of one body reference over an iteration block.
+
+    Row ``n`` of ``coords`` is the data point this reference touches on
+    the block's ``n``-th iteration; within an iteration the executor
+    issues streams in list order (reads then writes).
+    """
+
+    array: str
+    kind: str
+    coords: np.ndarray  # (N, d) element coordinates
+
+    @property
+    def is_write_like(self) -> bool:
+        return self.kind != "read"
+
+
 def _ordered_accesses(nest: LoopNest):
     reads = [a for a in nest.accesses if a.kind is AccessKind.READ]
     writes = [a for a in nest.accesses if a.kind is not AccessKind.READ]
     return reads + writes
+
+
+def reference_streams(nest: LoopNest, iterations: np.ndarray) -> list[RefStream]:
+    """Batched counterpart of :func:`tile_accesses`.
+
+    One ``(N, d)`` coordinate array per body reference in execution
+    order, instead of ``N`` per-iteration event lists — the address-
+    stream representation the fast simulator engine consumes.  An empty
+    block yields streams with ``(0, d)`` coordinate arrays, keeping the
+    reference structure uniform across processors.
+    """
+    iterations = np.asarray(iterations, dtype=np.int64)
+    if iterations.ndim != 2:
+        iterations = np.atleast_2d(iterations)
+    if iterations.size == 0:
+        iterations = iterations.reshape(0, nest.space.depth)
+    return [
+        RefStream(
+            array=acc.ref.array,
+            kind="sync" if acc.kind is AccessKind.SYNC else acc.kind.value,
+            coords=acc.ref.map_points(iterations),
+        )
+        for acc in _ordered_accesses(nest)
+    ]
 
 
 def tile_accesses(nest: LoopNest, iterations: np.ndarray) -> list[list[AccessEvent]]:
@@ -44,19 +93,17 @@ def tile_accesses(nest: LoopNest, iterations: np.ndarray) -> list[list[AccessEve
     (reads then writes).  Coordinate computation is vectorised per
     reference.
     """
-    iterations = np.atleast_2d(np.asarray(iterations, dtype=np.int64))
-    n = iterations.shape[0]
-    ordered = _ordered_accesses(nest)
-    coords_per_ref = [acc.ref.map_points(iterations) for acc in ordered]
+    streams = reference_streams(nest, iterations)
+    n = streams[0].coords.shape[0] if streams else 0
     out: list[list[AccessEvent]] = []
     for row in range(n):
         events = [
             AccessEvent(
-                array=acc.ref.array,
-                coords=tuple(int(x) for x in coords_per_ref[k][row]),
-                kind="sync" if acc.kind is AccessKind.SYNC else acc.kind.value,
+                array=s.array,
+                coords=tuple(int(x) for x in s.coords[row]),
+                kind=s.kind,
             )
-            for k, acc in enumerate(ordered)
+            for s in streams
         ]
         out.append(events)
     return out

@@ -43,6 +43,38 @@ class TestCLI:
         assert code == 0
         assert "mean misses/processor" in out
 
+    def test_simulate_engine_flags_agree(self, ex8_file):
+        """--engine fast and --engine exact print identical simulation
+        tables (differential parity through the CLI)."""
+        outputs = {}
+        for engine in ("fast", "exact"):
+            code, out = run_cli(
+                [ex8_file, "-p", "8", "-D", "N=12", "--simulate",
+                 "--engine", engine]
+            )
+            assert code == 0
+            outputs[engine] = out[out.index("mean misses/processor"):]
+        assert outputs["fast"] == outputs["exact"]
+
+    def test_engine_fast_with_trace_is_error(self, ex8_file, tmp_path):
+        """An observer (event trace) breaks the fast path's preconditions:
+        the CLI must report the error, not crash."""
+        trace = tmp_path / "t.jsonl"
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--simulate",
+             "--engine", "fast", "--trace-out", str(trace)]
+        )
+        assert code == 1
+        assert "engine='fast'" in out
+
+    def test_workers_flag(self, ex8_file):
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--simulate",
+             "--engine", "fast", "--workers", "2"]
+        )
+        assert code == 0
+        assert "mean misses/processor" in out
+
     def test_pseudocode(self, ex8_file):
         code, out = run_cli(
             [ex8_file, "-p", "8", "-D", "N=12", "--pseudocode", "0"]
