@@ -1,0 +1,43 @@
+"""Differential self-check subsystem (``repro check``).
+
+The repository carries three independent oracles for the same physical
+quantity — the analytic footprint model (:mod:`repro.core.cumulative`),
+exact lattice enumeration (:mod:`repro.lattice.points`), and the
+bit-identical pair of simulator engines (:mod:`repro.sim`).  This package
+turns them into a standing bug-finder:
+
+* :mod:`repro.check.generator` — seeded random generation of valid
+  affine loop nests (depth 1–3, unimodular/nonsingular/singular ``G``,
+  offset clusters forming uniformly intersecting classes, line sizes
+  1–8, 2–16 processors);
+* :mod:`repro.check.invariants` — the cross-oracle invariants each case
+  must satisfy, with explicit applicability guards;
+* :mod:`repro.check.harness` — runs parse→classify→optimize→codegen→
+  simulate per case, evaluates the invariants, and assembles a
+  ``repro.check-report``;
+* :mod:`repro.check.shrink` — greedy minimisation of failing cases;
+* :mod:`repro.check.corpus` — the persisted seed corpus replayed in
+  tier-1 tests.
+
+CLI: ``repro check --cases N --seed S [--corpus PATH]``.
+"""
+
+from .corpus import load_corpus, save_corpus, spec_from_dict, spec_to_dict
+from .generator import CaseSpec, ClassSpec, generate_case
+from .harness import CheckConfig, check_main, run_case, run_check
+from .shrink import shrink
+
+__all__ = [
+    "CaseSpec",
+    "ClassSpec",
+    "CheckConfig",
+    "check_main",
+    "generate_case",
+    "load_corpus",
+    "run_case",
+    "run_check",
+    "save_corpus",
+    "shrink",
+    "spec_from_dict",
+    "spec_to_dict",
+]

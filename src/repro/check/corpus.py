@@ -1,0 +1,94 @@
+"""Persisted seed corpus for the differential checker.
+
+Minimised failing cases (and hand-picked interesting ones) are stored as
+JSON and replayed ahead of freshly generated cases — both by ``repro
+check --corpus PATH`` and by the tier-1 regression test — so every bug
+the fuzzer ever found stays fixed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .generator import CaseSpec, ClassSpec
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CORPUS_VERSION",
+    "spec_to_dict",
+    "spec_from_dict",
+    "load_corpus",
+    "save_corpus",
+]
+
+CORPUS_SCHEMA = "repro.check-corpus"
+CORPUS_VERSION = 1
+
+
+def spec_to_dict(spec: CaseSpec) -> dict:
+    return {
+        "case_id": spec.case_id,
+        "depth": spec.depth,
+        "extents": list(spec.extents),
+        "processors": spec.processors,
+        "line_size": spec.line_size,
+        "sweeps": spec.sweeps,
+        "classes": [
+            {
+                "array": c.array,
+                "g": [list(row) for row in c.g],
+                "offsets": [list(off) for off in c.offsets],
+                "kinds": list(c.kinds),
+            }
+            for c in spec.classes
+        ],
+    }
+
+
+def spec_from_dict(d: dict) -> CaseSpec:
+    return CaseSpec(
+        case_id=int(d.get("case_id", -1)),
+        depth=int(d["depth"]),
+        extents=tuple(int(x) for x in d["extents"]),
+        processors=int(d["processors"]),
+        line_size=int(d["line_size"]),
+        sweeps=int(d["sweeps"]),
+        classes=tuple(
+            ClassSpec(
+                array=c["array"],
+                g=tuple(tuple(int(x) for x in row) for row in c["g"]),
+                offsets=tuple(tuple(int(x) for x in off) for off in c["offsets"]),
+                kinds=tuple(c["kinds"]),
+            )
+            for c in d["classes"]
+        ),
+    )
+
+
+def load_corpus(path) -> list[dict]:
+    """Corpus entries ``{"spec": ..., "invariant": ..., "note": ...}``."""
+    if hasattr(path, "read"):
+        doc = json.load(path)
+    else:
+        with open(path) as fh:
+            doc = json.load(fh)
+    if doc.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(f"not a check corpus: schema={doc.get('schema')!r}")
+    if doc.get("version") != CORPUS_VERSION:
+        raise ValueError(f"unsupported corpus version {doc.get('version')!r}")
+    return list(doc.get("entries", []))
+
+
+def save_corpus(path, entries: list[dict]) -> None:
+    doc = {
+        "schema": CORPUS_SCHEMA,
+        "version": CORPUS_VERSION,
+        "entries": list(entries),
+    }
+    if hasattr(path, "write"):
+        json.dump(doc, path, indent=2)
+        path.write("\n")
+    else:
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")

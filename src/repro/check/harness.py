@@ -1,0 +1,380 @@
+"""Differential harness: run the whole pipeline per case, check invariants.
+
+For every case the harness runs parse → classify → optimize → codegen →
+simulate (both engines), evaluates the cross-oracle invariants
+(:mod:`repro.check.invariants`), shrinks failures
+(:mod:`repro.check.shrink`), and emits a ``repro.check-report`` through
+the :mod:`repro.obs.report` layer.
+
+Fault injection (``--inject-fault``) deliberately mis-computes one
+analytic quantity so the checker's sensitivity can be demonstrated and
+tested end-to-end: a run with an injected fault must *fail* and shrink
+the failure to a small nest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..core import cost as _cost
+from ..core import cumulative as _cum
+from ..core import optimize as _opt
+from ..core.classify import partition_references
+from ..core.optimize import optimize_parallelepiped
+from ..core.partitioner import LoopPartitioner
+from ..exceptions import OptimizationError, ReproError, SingularMatrixError
+from ..lang.lower import lower_nest
+from ..lang.parser import parse_program
+from ..obs.log import configure_logging, get_logger
+from ..obs.report import build_check_report, dump_report
+from ..sim import Machine, MachineConfig, simulate_nest
+from ..sim.trace import assign_tiles_to_processors, reference_streams
+from .corpus import load_corpus, spec_from_dict, spec_to_dict
+from .generator import CaseSpec, generate_case
+from .invariants import CaseArtifacts, Tally, run_invariants
+from .shrink import shrink
+
+__all__ = ["CheckConfig", "run_case", "run_check", "check_main", "inject_fault"]
+
+logger = get_logger("check.harness")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Declared envelopes and budgets of one check run."""
+
+    max_accesses: int = 6000  # per-case access cap (generator)
+    round_det_tol: float = 0.5  # |det L| vs V after parallelepiped rounding
+    parallelepiped_every: int = 5  # run the SLSQP path on every k-th case
+    shrink_budget: int = 200  # pipeline evaluations per shrink
+
+    def to_dict(self) -> dict:
+        return {
+            "max_accesses": self.max_accesses,
+            "round_det_tol": self.round_det_tol,
+            "parallelepiped_every": self.parallelepiped_every,
+            "shrink_budget": self.shrink_budget,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+
+
+@contextmanager
+def _patched(module, name, fn):
+    orig = getattr(module, name)
+    setattr(module, name, fn)
+    try:
+        yield
+    finally:
+        setattr(module, name, orig)
+
+
+@contextmanager
+def _inject_spread():
+    """Scale spread coefficients down: Theorem-4 costs undercount."""
+    orig = _cum.spread_coefficients
+
+    def bad(uiset):
+        return orig(uiset) * 0.25
+
+    with _patched(_cum, "spread_coefficients", bad):
+        with _patched(_opt, "spread_coefficients", bad):
+            yield
+
+
+@contextmanager
+def _inject_exact_count():
+    """Off-by-one in the exact lattice union count."""
+    orig = _cum.cumulative_footprint_size_exact
+
+    def bad(uiset, tile, **kw):
+        return orig(uiset, tile, **kw) + 1
+
+    with _patched(_cum, "cumulative_footprint_size_exact", bad):
+        with _patched(_opt, "cumulative_footprint_size_exact", bad):
+            with _patched(_cost, "cumulative_footprint_size_exact", bad):
+                yield
+
+
+FAULTS = {
+    "spread": _inject_spread,
+    "exact-count": _inject_exact_count,
+}
+
+
+@contextmanager
+def inject_fault(name: str | None):
+    """Activate a named deliberate fault for the duration of the context."""
+    if name is None:
+        yield
+        return
+    if name not in FAULTS:
+        raise ValueError(f"unknown fault {name!r}; known: {sorted(FAULTS)}")
+    with FAULTS[name]():
+        yield
+
+
+# ----------------------------------------------------------------------
+# Per-case pipeline
+
+
+def run_case(spec: CaseSpec, config: CheckConfig | None = None) -> CaseArtifacts:
+    """parse → classify → optimize → codegen → simulate → invariants."""
+    config = config or CheckConfig()
+    art = CaseArtifacts(
+        spec=spec,
+        nest=None,
+        uisets=[],
+        result=None,
+        estimate=None,
+        pepiped=None,
+        sim_fast=None,
+        sim_exact=None,
+        streams=None,
+        schedule_counts=None,
+        emitted=None,
+    )
+    try:
+        program = parse_program(spec.source())
+        art.nest = lower_nest(program.nests[0], {})
+        art.uisets = partition_references(art.nest.accesses)
+
+        partitioner = LoopPartitioner(art.nest, spec.processors)
+        art.result = partitioner.partition(method="rectangular", scoring="exact")
+        art.estimate = art.result.estimate
+
+        if spec.depth >= 2 and spec.case_id % config.parallelepiped_every == 0:
+            try:
+                art.pepiped = optimize_parallelepiped(
+                    art.uisets,
+                    spec.volume / spec.processors,
+                    max_extents=art.nest.space.extents,
+                )
+            except (OptimizationError, SingularMatrixError):
+                # Declared outcomes: no integer rounding satisfies the
+                # volume tolerance, or a class's reduced G is rank-
+                # deficient (Theorem 2 objective undefined).  Not a
+                # violation.
+                art.tally.hit("parallelepiped-infeasible")
+
+        from ..codegen.schedule import TileSchedule
+        from ..codegen.emit import emit_pseudocode
+
+        if art.result.grid is not None:
+            sched = TileSchedule(
+                art.nest.space,
+                art.result.tile,
+                spec.processors,
+                grid=tuple(int(g) for g in art.result.grid),
+            )
+            art.schedule_counts = sched.iteration_counts()
+            art.emitted = emit_pseudocode(program.nests[0], sched, processors=[0])
+
+        from ..core.tiles import Tiling
+
+        tiling = Tiling(art.nest.space, art.result.tile)
+        blocks = assign_tiles_to_processors(tiling, spec.processors)
+        art.streams = {
+            p: reference_streams(art.nest, its) for p, its in blocks.items()
+        }
+
+        def machine() -> Machine:
+            return Machine(
+                MachineConfig(
+                    processors=spec.processors, line_size=spec.line_size
+                )
+            )
+
+        art.sim_exact = simulate_nest(
+            art.nest,
+            art.result.tile,
+            spec.processors,
+            engine="exact",
+            machine=machine(),
+            check_invariants=True,
+        )
+        art.sim_fast = simulate_nest(
+            art.nest,
+            art.result.tile,
+            spec.processors,
+            engine="fast",
+            machine=machine(),
+            check_invariants=True,
+        )
+    except ReproError as e:
+        art.fail("pipeline-error", f"{type(e).__name__}: {e}")
+        return art
+    except Exception as e:  # pragma: no cover - harness safety net
+        art.fail("crash", f"{type(e).__name__}: {e}")
+        return art
+
+    run_invariants(art, round_det_tol=config.round_det_tol)
+    return art
+
+
+def _first_invariant(spec: CaseSpec, config: CheckConfig) -> str | None:
+    out = run_case(spec, config)
+    return out.violations[0].invariant if out.violations else None
+
+
+# ----------------------------------------------------------------------
+# Driver
+
+
+def _failure_entry(
+    spec: CaseSpec, art: CaseArtifacts, config: CheckConfig, origin: str
+) -> dict:
+    shrunk, steps = shrink(
+        spec,
+        lambda s: _first_invariant(s, config),
+        budget=config.shrink_budget,
+    )
+    v = art.violations[0]
+    return {
+        "case_id": spec.case_id,
+        "origin": origin,
+        "invariant": v.invariant,
+        "detail": v.detail,
+        "all_violations": [
+            {"invariant": x.invariant, "detail": x.detail} for x in art.violations
+        ],
+        "spec": spec_to_dict(spec),
+        "shrunk_spec": spec_to_dict(shrunk),
+        "shrunk_depth": shrunk.depth,
+        "shrunk_source": shrunk.source(),
+        "shrink_steps": steps,
+    }
+
+
+def run_check(
+    *,
+    cases: int = 100,
+    seed: int = 0,
+    corpus_path: str | None = None,
+    config: CheckConfig | None = None,
+    fault: str | None = None,
+) -> dict:
+    """Replay the corpus, fuzz ``cases`` fresh nests, report the verdict."""
+    config = config or CheckConfig()
+    tally = Tally()
+    failures: list[dict] = []
+    total = 0
+    corpus_info: dict | None = None
+    t0 = time.perf_counter()
+
+    with inject_fault(fault):
+        if corpus_path and os.path.exists(corpus_path):
+            entries = load_corpus(corpus_path)
+            corpus_info = {"path": str(corpus_path), "entries": len(entries)}
+            for entry in entries:
+                spec = spec_from_dict(entry["spec"])
+                art = run_case(spec, config)
+                tally.merge(art.tally)
+                total += 1
+                if art.violations:
+                    failures.append(_failure_entry(spec, art, config, "corpus"))
+        for case_id in range(cases):
+            spec = generate_case(case_id, seed, max_accesses=config.max_accesses)
+            art = run_case(spec, config)
+            tally.merge(art.tally)
+            total += 1
+            if art.violations:
+                logger.warning(
+                    "case %d violated %s: %s",
+                    case_id,
+                    art.violations[0].invariant,
+                    art.violations[0].detail,
+                )
+                failures.append(_failure_entry(spec, art, config, "generated"))
+
+    return build_check_report(
+        cases=total,
+        seed=seed,
+        passed=total - len(failures),
+        failures=failures,
+        invariant_evaluations=tally.counts,
+        corpus=corpus_info,
+        config=config.to_dict(),
+        fault=fault,
+        duration_s=time.perf_counter() - t0,
+    )
+
+
+def check_main(argv: list[str] | None = None, *, out=None) -> int:
+    """Entry point for ``repro check``."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Differential self-check: fuzz loop nests and cross-"
+        "validate the analytic model, the lattice oracles, and both "
+        "simulator engines.",
+    )
+    parser.add_argument("--cases", type=int, default=100, metavar="N")
+    parser.add_argument("--seed", type=int, default=0, metavar="S")
+    parser.add_argument("--corpus", default=None, metavar="PATH",
+                        help="replay a persisted corpus before fuzzing")
+    parser.add_argument("--json-report", default=None, metavar="PATH",
+                        help="write the repro.check-report JSON here")
+    parser.add_argument("--inject-fault", default=None, choices=sorted(FAULTS),
+                        help="deliberately break one oracle (self-test)")
+    parser.add_argument("--max-accesses", type=int, default=6000)
+    parser.add_argument("--shrink-budget", type=int, default=200)
+    parser.add_argument("--log-level", default=None,
+                        choices=["DEBUG", "INFO", "WARNING", "ERROR"])
+    args = parser.parse_args(argv)
+    if args.cases < 0:
+        parser.error("--cases must be >= 0")
+    if args.log_level:
+        configure_logging(args.log_level)
+    out = out or sys.stdout
+
+    config = CheckConfig(
+        max_accesses=args.max_accesses, shrink_budget=args.shrink_budget
+    )
+    report = run_check(
+        cases=args.cases,
+        seed=args.seed,
+        corpus_path=args.corpus,
+        config=config,
+        fault=args.inject_fault,
+    )
+    if args.json_report:
+        dump_report(report, args.json_report)
+
+    print(
+        f"repro check: {report['cases']} cases (seed {report['seed']}) -> "
+        f"{report['passed']} passed, {report['failed']} failed "
+        f"in {report['duration_s']:.1f}s",
+        file=out,
+    )
+    evals = report["invariant_evaluations"]
+    print(
+        "invariant evaluations: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(evals.items())),
+        file=out,
+    )
+    for f in report["failures"]:
+        print(
+            f"FAILED case {f['case_id']} ({f['origin']}): {f['invariant']} — "
+            f"{f['detail']}",
+            file=out,
+        )
+        print(
+            f"  shrunk to depth {f['shrunk_depth']} in {f['shrink_steps']} steps:",
+            file=out,
+        )
+        for line in f["shrunk_source"].rstrip().splitlines():
+            print(f"    {line}", file=out)
+    if report["failed"] and args.inject_fault:
+        print(
+            f"(fault {args.inject_fault!r} was injected deliberately — "
+            "failures above demonstrate detection)",
+            file=out,
+        )
+    return 1 if report["failed"] else 0

@@ -1,0 +1,190 @@
+"""Greedy minimisation of failing cases.
+
+Given a failing :class:`~repro.check.generator.CaseSpec` and a predicate
+``fails(spec) -> str | None`` (the violated invariant's name, or ``None``
+when the case passes), repeatedly try structural simplifications —
+fewer classes and members, lower depth, smaller extents / coefficients /
+offsets, fewer processors, unit lines, one sweep — keeping any mutation
+that still fails with the *same* invariant, until a fixpoint or the
+evaluation budget runs out.
+
+The mutations preserve spec validity (at least one write-like reference
+survives); candidates the pipeline cannot partition are rejected by the
+predicate itself, since they fail with a different invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from .generator import CaseSpec, ClassSpec
+
+__all__ = ["shrink", "candidates"]
+
+
+def _ensure_write(classes: tuple[ClassSpec, ...]) -> tuple[ClassSpec, ...] | None:
+    """Flip the first member to a write when no write-like ref survives."""
+    if not classes:
+        return None
+    if any(k != "read" for c in classes for k in c.kinds):
+        return classes
+    c0 = classes[0]
+    return (replace(c0, kinds=("write",) + c0.kinds[1:]),) + classes[1:]
+
+
+def _drop_dimension(spec: CaseSpec, dim: int) -> CaseSpec | None:
+    if spec.depth <= 1:
+        return None
+    extents = spec.extents[:dim] + spec.extents[dim + 1 :]
+    classes = tuple(
+        replace(c, g=c.g[:dim] + c.g[dim + 1 :]) for c in spec.classes
+    )
+    volume = 1
+    for n in extents:
+        volume *= n
+    if volume < 2:
+        return None
+    return replace(
+        spec,
+        depth=spec.depth - 1,
+        extents=extents,
+        classes=classes,
+        processors=min(spec.processors, 2),
+    )
+
+
+def candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    """Simplification candidates, most aggressive first."""
+    # Drop a whole class.
+    if len(spec.classes) > 1:
+        for k in range(len(spec.classes)):
+            classes = _ensure_write(spec.classes[:k] + spec.classes[k + 1 :])
+            if classes:
+                yield replace(spec, classes=classes)
+    # Drop a class member.
+    for k, c in enumerate(spec.classes):
+        if c.size <= 1:
+            continue
+        for m in range(c.size):
+            smaller = ClassSpec(
+                array=c.array,
+                g=c.g,
+                offsets=c.offsets[:m] + c.offsets[m + 1 :],
+                kinds=c.kinds[:m] + c.kinds[m + 1 :],
+            )
+            classes = _ensure_write(
+                spec.classes[:k] + (smaller,) + spec.classes[k + 1 :]
+            )
+            if classes:
+                yield replace(spec, classes=classes)
+    # Drop a loop dimension.
+    for dim in range(spec.depth - 1, -1, -1):
+        cand = _drop_dimension(spec, dim)
+        if cand is not None:
+            yield cand
+    # Shrink extents (halve, then decrement).
+    for dim in range(spec.depth):
+        n = spec.extents[dim]
+        for smaller in {max(2, n // 2), n - 1}:
+            if 2 <= smaller < n:
+                extents = (
+                    spec.extents[:dim] + (smaller,) + spec.extents[dim + 1 :]
+                )
+                volume = 1
+                for x in extents:
+                    volume *= x
+                yield replace(
+                    spec,
+                    extents=extents,
+                    processors=min(spec.processors, max(2, volume)),
+                )
+    # Fewer processors, unit lines, one sweep, simpler protocol traffic.
+    if spec.processors > 2:
+        yield replace(spec, processors=2)
+        yield replace(spec, processors=spec.processors // 2)
+    if spec.line_size > 1:
+        yield replace(spec, line_size=1)
+        if spec.line_size // 2 > 1:
+            yield replace(spec, line_size=spec.line_size // 2)
+    if spec.sweeps > 1:
+        yield replace(spec, sweeps=1)
+    # Simplify G entries (zero them, then reduce magnitude).
+    for k, c in enumerate(spec.classes):
+        for r in range(len(c.g)):
+            for col in range(len(c.g[r])):
+                e = c.g[r][col]
+                if e == 0:
+                    continue
+                for smaller in ((0, e // abs(e)) if abs(e) > 1 else (0,)):
+                    if smaller == e:
+                        continue
+                    row = c.g[r][:col] + (smaller,) + c.g[r][col + 1 :]
+                    g = c.g[:r] + (row,) + c.g[r + 1 :]
+                    yield replace(
+                        spec,
+                        classes=spec.classes[:k]
+                        + (replace(c, g=g),)
+                        + spec.classes[k + 1 :],
+                    )
+    # Pull offsets toward zero.
+    for k, c in enumerate(spec.classes):
+        for m in range(c.size):
+            for col in range(c.dims):
+                e = c.offsets[m][col]
+                if e == 0:
+                    continue
+                smaller = 0 if abs(e) == 1 else e - e // abs(e)
+                off = c.offsets[m][:col] + (smaller,) + c.offsets[m][col + 1 :]
+                offsets = c.offsets[:m] + (off,) + c.offsets[m + 1 :]
+                yield replace(
+                    spec,
+                    classes=spec.classes[:k]
+                    + (replace(c, offsets=offsets),)
+                    + spec.classes[k + 1 :],
+                )
+    # Sync accumulates → plain writes.
+    for k, c in enumerate(spec.classes):
+        if "sync" in c.kinds:
+            kinds = tuple("write" if x == "sync" else x for x in c.kinds)
+            yield replace(
+                spec,
+                classes=spec.classes[:k]
+                + (replace(c, kinds=kinds),)
+                + spec.classes[k + 1 :],
+            )
+
+
+def shrink(
+    spec: CaseSpec,
+    fails: Callable[[CaseSpec], str | None],
+    *,
+    budget: int = 250,
+) -> tuple[CaseSpec, int]:
+    """Greedily minimise ``spec`` while ``fails`` reports the same invariant.
+
+    Returns ``(minimised spec, accepted steps)``; ``budget`` caps the
+    number of predicate evaluations (each is a full pipeline run).
+    """
+    target = fails(spec)
+    if target is None:
+        return spec, 0
+    steps = 0
+    evals = 0
+    progressed = True
+    while progressed and evals < budget:
+        progressed = False
+        for cand in candidates(spec):
+            if evals >= budget:
+                break
+            evals += 1
+            try:
+                verdict = fails(cand)
+            except Exception:  # pragma: no cover - mutant crashed the harness
+                continue
+            if verdict == target:
+                spec = cand
+                steps += 1
+                progressed = True
+                break
+    return spec, steps

@@ -21,6 +21,9 @@ traffic, per-processor miss breakdown, prediction-error ratios);
 ``--trace-out`` writes a sampled JSONL per-access event trace (requires
 ``--simulate``); ``--profile`` prints a per-phase wall-time / peak-RSS
 table; ``--log-level`` enables structured diagnostics on stderr.
+
+``python -m repro check --cases N --seed S [--corpus PATH]`` runs the
+differential self-check (:mod:`repro.check`) instead of the pipeline.
 """
 
 from __future__ import annotations
@@ -161,10 +164,18 @@ def _profile_table(tracer) -> str:
 
 
 def main(argv: list[str] | None = None, *, out=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        from .check.harness import check_main
+
+        return check_main(argv[1:], out=out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.trace_sample < 1:
         parser.error(f"--trace-sample must be >= 1, got {args.trace_sample}")
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     out = out or sys.stdout
 
     def emit(text: str = "") -> None:

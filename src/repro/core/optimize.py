@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from itertools import combinations
+from itertools import combinations, product
 
 import numpy as np
 
 from ..exceptions import OptimizationError, SingularMatrixError
 from ..lattice.points import LatticeCountCache
 from ..lattice.snf import integer_kernel_basis, solve_integer
+from ..obs.log import get_logger
 from ..obs.tracing import span as _span
 from .classify import UISet, partition_references
 from .cumulative import (
@@ -55,6 +56,9 @@ __all__ = [
     "factorizations",
     "rect_cost_coefficients",
 ]
+
+
+logger = get_logger("core.optimize")
 
 
 def _as_uisets(accesses_or_sets) -> list[UISet]:
@@ -236,7 +240,25 @@ def optimize_rectangular(
         )
     if cache is None:
         cache = LatticeCountCache()
-    a = rect_cost_coefficients(uisets, l)
+    try:
+        a = rect_cost_coefficients(uisets, l)
+    except OptimizationError:
+        # Some class has no Theorem-4 coefficients (dependent rows after
+        # column reduction).  The grid search below still scores such
+        # classes exactly; they just cannot steer the continuous seed, so
+        # sum the coefficients of the classes that have them.
+        logger.warning(
+            "rectangular seed: a class has no Theorem-4 coefficients; "
+            "seeding the grid search from the remaining classes"
+        )
+        a = np.zeros(l, dtype=float)
+        for s in uisets:
+            if s.size == 1 or not np.any(s.spread()):
+                continue
+            try:
+                a += spread_coefficients(s)
+            except SingularMatrixError:
+                continue
     if not np.any(a):
         # No partition-sensitive traffic at all: any load-balanced tile is
         # optimal; pick the most compact grid.
@@ -427,8 +449,11 @@ def optimize_parallelepiped(
         a = np.ones(l)
     if not np.any(a):
         a = np.ones(l)
-    side = (v / float(np.prod(a))) ** (1.0 / l)
-    diag_start = np.diag(a * side)
+    # Communication-free dims (a_i = 0) would zero the naive s_i ∝ a_i
+    # start; the Lagrange solver widens them to the full extent instead.
+    sides = _continuous_lagrange(a, max_extents, v)
+    diag_start = np.diag(sides)
+    side = float(np.mean(sides))
     rect_obj = _theorem2_objective(uisets, diag_start.ravel(), l)
 
     starts = [diag_start]
@@ -485,9 +510,29 @@ def optimize_parallelepiped(
                     best_f = float(res.fun)
                     best_x = res.x.copy()
     if best_x is None:
-        raise OptimizationError("parallelepiped optimization failed from all starts")
+        # Graceful degradation: no SLSQP start converged.  A valid nest
+        # must still partition, so fall back to the rectangular Lagrange
+        # solution (a feasible diagonal L) with improvement pinned to 0
+        # instead of hard-failing the whole pipeline.
+        logger.warning(
+            "parallelepiped optimization: no SLSQP start converged; "
+            "falling back to the rectangular solution (improvement=0)"
+        )
+        sides = _continuous_lagrange(np.where(a > 0, a, 0.0), max_extents, v)
+        lm = np.diag(sides)
+        fallback_obj = _theorem2_objective(uisets, lm.ravel(), l)
+        tile = _round_tile(
+            lm, uisets=uisets, volume=abs(float(np.linalg.det(lm)))
+        )
+        return ParallelepipedOptResult(
+            l_matrix=lm,
+            tile=tile,
+            objective=fallback_obj,
+            rectangular_objective=rect_obj,
+            improvement=0.0,
+        )
     lm = best_x.reshape(l, l)
-    tile = _round_tile(lm)
+    tile = _round_tile(lm, uisets=uisets, volume=v)
     return ParallelepipedOptResult(
         l_matrix=lm,
         tile=tile,
@@ -497,18 +542,68 @@ def optimize_parallelepiped(
     )
 
 
-def _round_tile(lm: np.ndarray) -> ParallelepipedTile:
-    """Round a float L to a usable integer tile (nonzero determinant)."""
-    rounded = np.round(lm).astype(np.int64)
-    if abs(np.linalg.det(rounded.astype(float))) >= 0.5:
-        return ParallelepipedTile(rounded)
-    # Nudge diagonal entries until nonsingular.
+def _round_tile(
+    lm: np.ndarray,
+    *,
+    uisets: list[UISet] | None = None,
+    volume: float | None = None,
+    tol: float = 0.5,
+) -> ParallelepipedTile:
+    """Round a float ``L`` to an integer tile honouring load balance.
+
+    Naive per-entry rounding can silently drift ``|det L|`` arbitrarily
+    far from the load-balance volume ``V`` — or turn singular and give
+    up.  Instead, search the integer neighbourhood of ``lm``: every
+    floor/ceil corner for ``l <= 3`` plus the plain rounding and its
+    diagonal bumps.  Candidates must be nonsingular and, when ``volume``
+    is given, keep ``|det L|`` within ``tol·V`` of ``V``; among those the
+    Theorem-2 objective decides (entry distance to ``lm`` breaks ties,
+    and stands in for the objective when no classes are supplied).
+    Raises :class:`OptimizationError` only when no neighbour satisfies
+    the volume tolerance.
+    """
     l = lm.shape[0]
+    rounded = np.round(lm).astype(np.int64)
+    candidates: list[np.ndarray] = [rounded]
+    if l <= 3:
+        lo = np.floor(lm).astype(np.int64).ravel()
+        hi = np.ceil(lm).astype(np.int64).ravel()
+        choices = [sorted({int(x), int(y)}) for x, y in zip(lo, hi)]
+        for combo in product(*choices):
+            candidates.append(np.array(combo, dtype=np.int64).reshape(l, l))
     for bump in range(1, 4):
-        cand = rounded + bump * np.eye(l, dtype=np.int64)
-        if abs(np.linalg.det(cand.astype(float))) >= 0.5:
-            return ParallelepipedTile(cand)
-    raise OptimizationError(f"could not round {lm} to a nonsingular tile")
+        candidates.append(rounded + bump * np.eye(l, dtype=np.int64))
+
+    best: tuple | None = None
+    best_cand: np.ndarray | None = None
+    seen: set[bytes] = set()
+    for cand in candidates:
+        key = cand.tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        det = abs(float(np.linalg.det(cand.astype(float))))
+        if det < 0.5:
+            continue
+        if volume is not None and abs(det - volume) > tol * volume:
+            continue
+        if uisets:
+            try:
+                score = _theorem2_objective(uisets, cand.astype(float).ravel(), l)
+            except SingularMatrixError:  # pragma: no cover - defensive
+                continue
+        else:
+            score = 0.0
+        vol_err = abs(det - volume) if volume is not None else 0.0
+        rank = (score, vol_err, float(np.abs(cand - lm).sum()), key)
+        if best is None or rank < best:
+            best, best_cand = rank, cand
+    if best_cand is None:
+        raise OptimizationError(
+            f"could not round {lm} to a nonsingular integer tile with "
+            f"|det L| within {tol:.0%} of V={volume}"
+        )
+    return ParallelepipedTile(best_cand)
 
 
 def sharing_directions(accesses_or_sets) -> np.ndarray:

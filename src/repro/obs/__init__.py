@@ -25,6 +25,10 @@ where the analysis or simulator code runs.
 from .log import configure_logging, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .report import (
+    CHECK_REPORT_SCHEMA,
+    CHECK_REPORT_VERSION,
+    build_check_report,
+    validate_check_report,
     REPORT_SCHEMA,
     REPORT_VERSION,
     ReportError,
@@ -50,6 +54,10 @@ __all__ = [
     "REPORT_VERSION",
     "ReportError",
     "build_report",
+    "CHECK_REPORT_SCHEMA",
+    "CHECK_REPORT_VERSION",
+    "build_check_report",
+    "validate_check_report",
     "dump_report",
     "load_report",
     "validate_report",

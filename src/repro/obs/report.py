@@ -34,18 +34,26 @@ import json
 __all__ = [
     "REPORT_SCHEMA",
     "REPORT_VERSION",
+    "CHECK_REPORT_SCHEMA",
+    "CHECK_REPORT_VERSION",
     "ReportError",
     "build_report",
+    "build_check_report",
     "predicted_section",
     "measured_section",
     "prediction_error_section",
     "dump_report",
     "load_report",
     "validate_report",
+    "validate_check_report",
 ]
 
 REPORT_SCHEMA = "repro.run-report"
 REPORT_VERSION = 1
+
+# Differential self-check reports (``repro check``, :mod:`repro.check`).
+CHECK_REPORT_SCHEMA = "repro.check-report"
+CHECK_REPORT_VERSION = 1
 
 _REQUIRED_KEYS = ("schema", "version", "generated_by", "program", "predicted")
 _REQUIRED_MEASURED_KEYS = ("total_misses", "miss_breakdown", "per_processor", "network")
@@ -156,6 +164,12 @@ def measured_section(sim) -> dict:
         "shared_elements": dict(sim.shared_elements),
         "per_processor": per_proc,
     }
+    engine = getattr(sim, "engine", None)
+    if engine is not None:
+        out["engine"] = {
+            "used": engine,
+            "fallback_reason": getattr(sim, "engine_fallback", None),
+        }
     machine = getattr(sim, "machine", None)
     if machine is not None:
         out["sharer_histogram"] = {
@@ -284,9 +298,92 @@ def validate_report(report: dict) -> dict:
     return report
 
 
+def build_check_report(
+    *,
+    cases: int,
+    seed: int,
+    passed: int,
+    failures: list[dict],
+    invariant_evaluations: dict[str, int] | None = None,
+    corpus: dict | None = None,
+    config: dict | None = None,
+    fault: str | None = None,
+    duration_s: float | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Assemble a ``repro.check-report`` from a differential-check run.
+
+    ``failures`` entries are produced by :mod:`repro.check.harness` and
+    carry the original + shrunk case specs, the violated invariant and
+    its detail string.  ``invariant_evaluations`` records how often each
+    invariant was *applicable* — an all-green run with zero evaluations
+    would be vacuous, so the count travels with the verdict.
+    """
+    try:
+        from .. import __version__ as _version
+    except Exception:  # pragma: no cover
+        _version = "unknown"
+    report: dict = {
+        "schema": CHECK_REPORT_SCHEMA,
+        "version": CHECK_REPORT_VERSION,
+        "generated_by": f"repro {_version}",
+        "cases": int(cases),
+        "seed": int(seed),
+        "passed": int(passed),
+        "failed": len(failures),
+        "failures": list(failures),
+        "invariant_evaluations": dict(invariant_evaluations or {}),
+    }
+    if corpus is not None:
+        report["corpus"] = dict(corpus)
+    if config is not None:
+        report["config"] = dict(config)
+    if fault is not None:
+        report["injected_fault"] = fault
+    if duration_s is not None:
+        report["duration_s"] = float(duration_s)
+    if meta:
+        report["meta"] = dict(meta)
+    return validate_check_report(report)
+
+
+def validate_check_report(report: dict) -> dict:
+    """Check the ``repro.check-report`` contract; returns the report."""
+    if not isinstance(report, dict):
+        raise ReportError(f"report must be a dict, got {type(report).__name__}")
+    for key in ("schema", "version", "generated_by", "cases", "seed", "passed",
+                "failed", "failures", "invariant_evaluations"):
+        if key not in report:
+            raise ReportError(f"check report missing required key {key!r}")
+    if report["schema"] != CHECK_REPORT_SCHEMA:
+        raise ReportError(f"unknown schema {report['schema']!r}")
+    if report["version"] != CHECK_REPORT_VERSION:
+        raise ReportError(
+            f"unsupported check report version {report['version']!r} "
+            f"(this reader handles {CHECK_REPORT_VERSION})"
+        )
+    if report["failed"] != len(report["failures"]):
+        raise ReportError("check report 'failed' disagrees with failure list")
+    for f in report["failures"]:
+        for key in ("case_id", "invariant", "detail", "spec"):
+            if key not in f:
+                raise ReportError(f"check failure entry missing {key!r}")
+    return report
+
+
+def _validate_any(report: dict) -> dict:
+    if isinstance(report, dict) and report.get("schema") == CHECK_REPORT_SCHEMA:
+        return validate_check_report(report)
+    return validate_report(report)
+
+
 def dump_report(report: dict, path) -> None:
-    """Validate and write a report as pretty-printed JSON."""
-    validate_report(report)
+    """Validate and write a report as pretty-printed JSON.
+
+    Dispatches on the ``schema`` field: both ``repro.run-report`` and
+    ``repro.check-report`` documents are accepted.
+    """
+    _validate_any(report)
     if hasattr(path, "write"):
         json.dump(report, path, indent=2)
         path.write("\n")
@@ -303,4 +400,4 @@ def load_report(path) -> dict:
     else:
         with open(path) as fh:
             report = json.load(fh)
-    return validate_report(report)
+    return _validate_any(report)

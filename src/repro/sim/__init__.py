@@ -28,7 +28,7 @@ from .network import MeshNetwork, GraphNetwork
 from .machine import Machine, MachineConfig
 from .trace import RefStream, reference_streams, tile_accesses, nest_trace
 from .executor import simulate_nest, SimulationResult, ProcessorStats
-from .fast import supports_fast_path
+from .fast import fast_path_blockers, supports_fast_path
 from .stats import format_table
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "tile_accesses",
     "nest_trace",
     "simulate_nest",
+    "fast_path_blockers",
     "supports_fast_path",
     "SimulationResult",
     "ProcessorStats",

@@ -29,7 +29,7 @@ from ..core.tiles import ParallelepipedTile, Tiling
 from ..exceptions import SimulationError
 from ..obs.log import get_logger
 from ..obs.tracing import span
-from .fast import collect_footprints, execute_fast, supports_fast_path
+from .fast import collect_footprints, execute_fast, fast_path_blockers
 from .machine import Machine, MachineConfig
 from .memory import AddressMap
 from .trace import assign_tiles_to_processors, reference_streams
@@ -75,6 +75,11 @@ class SimulationResult:
     network_hops: int
     shared_elements: dict[str, int]
     machine: Machine | None = field(repr=False, compare=False, default=None)
+    # Engine bookkeeping (``compare=False``: the two engines are
+    # bit-identical on every *counter*, and parity tests compare results
+    # across engines with ``==``).
+    engine: str = field(compare=False, default="exact")
+    engine_fallback: str | None = field(compare=False, default=None)
 
     @property
     def total_misses(self) -> int:
@@ -179,6 +184,8 @@ def simulate_nest(
     """
     if engine not in ("auto", "fast", "exact"):
         raise SimulationError(f"unknown engine {engine!r}")
+    if workers is not None and workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
     if sweeps == 1 and nest.has_sequential_wrapper:
         sweeps = 1
         for l in nest.sequential_loops:
@@ -211,14 +218,23 @@ def simulate_nest(
         # Footprints and sharing measured from the streams themselves.
         footprints, shared = collect_footprints(streams, processors)
 
-    fast_ok = supports_fast_path(machine, observer)
-    if engine == "fast" and not fast_ok:
+    blockers = fast_path_blockers(machine, observer)
+    if engine == "fast" and blockers:
         raise SimulationError(
             "engine='fast' requires a fresh machine with coherent caching "
-            "enabled, unbounded capacity, and no observer; use engine='auto' "
+            "enabled, unbounded capacity, and no observer "
+            f"(blocked by: {'; '.join(blockers)}); use engine='auto' "
             "to fall back to the exact engine instead"
         )
-    use_fast = engine in ("fast", "auto") and fast_ok
+    use_fast = engine in ("fast", "auto") and not blockers
+    fallback_reason: str | None = None
+    if engine == "auto" and blockers:
+        fallback_reason = "; ".join(blockers)
+        logger.warning(
+            "engine='auto' fell back to the exact engine: %s", fallback_reason
+        )
+        for reason in blockers:
+            machine.metrics.counter("sim.engine.fallback", reason=reason).inc()
 
     logger.debug(
         "simulating %d iterations on P=%d (%d sweeps, %s interleave, %s engine)",
@@ -282,4 +298,6 @@ def simulate_nest(
         network_hops=int(machine.network.hops),
         shared_elements=shared,
         machine=machine,
+        engine="fast" if use_fast else "exact",
+        engine_fallback=fallback_reason,
     )

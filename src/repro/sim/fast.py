@@ -51,9 +51,38 @@ from ..obs.log import get_logger
 from .machine import Machine
 from .trace import RefStream
 
-__all__ = ["supports_fast_path", "execute_fast", "collect_footprints"]
+__all__ = [
+    "fast_path_blockers",
+    "supports_fast_path",
+    "execute_fast",
+    "collect_footprints",
+]
 
 logger = get_logger("sim.fast")
+
+
+def fast_path_blockers(machine: Machine, observer=None) -> list[str]:
+    """Why the batched engine cannot run on ``machine`` (empty = it can).
+
+    Each entry is a human-readable reason; :func:`simulate_nest` surfaces
+    them in the engine-fallback warning, the metrics registry, and the
+    run report when ``engine='auto'`` has to use the exact engine.
+    """
+    cfg = machine.config
+    blockers: list[str] = []
+    if observer is not None or machine.observer is not None:
+        blockers.append("per-access observer attached")
+    if not cfg.cache_enabled:
+        blockers.append("caching disabled")
+    if cfg.cache_capacity is not None:
+        blockers.append(f"finite cache capacity ({cfg.cache_capacity} lines)")
+    if (
+        machine.directory.entries
+        or machine.directory._ever_filled
+        or any(len(c) for c in machine.caches)
+    ):
+        blockers.append("machine not fresh (pre-existing cache/directory state)")
+    return blockers
 
 
 def supports_fast_path(machine: Machine, observer=None) -> bool:
@@ -65,16 +94,7 @@ def supports_fast_path(machine: Machine, observer=None) -> bool:
     accesses hit.  Per-access observers see events the bulk path never
     materialises, so they force the exact engine too.
     """
-    cfg = machine.config
-    return (
-        observer is None
-        and machine.observer is None
-        and cfg.cache_enabled
-        and cfg.cache_capacity is None
-        and not machine.directory.entries
-        and not machine.directory._ever_filled
-        and all(len(c) == 0 for c in machine.caches)
-    )
+    return not fast_path_blockers(machine, observer)
 
 
 # ----------------------------------------------------------------------

@@ -205,3 +205,34 @@ class TestObservabilityFlags:
         assert "phase" in out
         assert "optimize.rectangular" in out
         assert "sim.execute" in out
+
+
+class TestWorkersFlag:
+    def test_rejects_zero_workers(self, ex8_file):
+        with pytest.raises(SystemExit) as exc:
+            run_cli([ex8_file, "-D", "N=12", "--simulate", "--workers", "0"])
+        assert exc.value.code == 2
+
+    def test_rejects_negative_workers(self, ex8_file):
+        with pytest.raises(SystemExit) as exc:
+            run_cli([ex8_file, "-D", "N=12", "--simulate", "--workers", "-2"])
+        assert exc.value.code == 2
+
+
+class TestCheckSubcommand:
+    def test_check_dispatch(self):
+        code, out = run_cli(["check", "--cases", "2", "--seed", "0"])
+        assert code == 0
+        assert "2 passed, 0 failed" in out
+
+    def test_check_writes_report(self, tmp_path):
+        from repro.obs.report import load_report
+
+        path = tmp_path / "check.json"
+        code, _ = run_cli(
+            ["check", "--cases", "1", "--seed", "0", "--json-report", str(path)]
+        )
+        assert code == 0
+        report = load_report(path)
+        assert report["schema"] == "repro.check-report"
+        assert report["failed"] == 0

@@ -205,3 +205,126 @@ class TestCommunicationFree:
         ]
         basis = communication_free_partition(partition_references(refs), 2)
         assert basis.shape[0] == 0
+
+
+class TestGracefulDegradation:
+    """Regression tests: valid nests must partition, never hard-fail."""
+
+    def _stencil_sets(self):
+        from repro.core.affine import AffineRef
+
+        refs = [
+            AffineRef("B", np.eye(2, dtype=int), [0, 0]),
+            AffineRef("B", np.eye(2, dtype=int), [1, 1]),
+        ]
+        return partition_references(refs)
+
+    def test_slsqp_failure_falls_back_to_rectangle(self, monkeypatch, caplog):
+        """All SLSQP starts failing yields the rectangular solution with
+        improvement pinned to 0, not an OptimizationError."""
+        import logging
+        from types import SimpleNamespace
+
+        import scipy.optimize
+
+        monkeypatch.setattr(
+            scipy.optimize,
+            "minimize",
+            lambda *a, **k: SimpleNamespace(success=False, fun=np.inf, x=None),
+        )
+        sets = self._stencil_sets()
+        with caplog.at_level(logging.WARNING):
+            res = optimize_parallelepiped(sets, volume=16.0)
+        assert res.improvement == 0.0
+        assert res.tile.volume > 0
+        assert "no SLSQP start converged" in caplog.text
+
+    def test_zero_coefficient_dimension_start(self):
+        """One communication-free dimension (a_i = 0) used to zero the
+        diagonal start and divide by zero."""
+        from repro.core.affine import AffineRef
+
+        refs = [
+            AffineRef("B", np.eye(2, dtype=int), [0, 0]),
+            AffineRef("B", np.eye(2, dtype=int), [0, 2]),
+        ]
+        sets = partition_references(refs)
+        a = rect_cost_coefficients(sets, 2)
+        assert np.count_nonzero(a) == 1  # reuse lives in one dim only
+        res = optimize_parallelepiped(
+            sets, volume=16.0, max_extents=np.array([8.0, 8.0])
+        )
+        assert res.tile.volume > 0
+
+    def test_rectangular_seed_survives_rank_deficient_class(self, caplog):
+        """A class whose reduced G has dependent rows (no Theorem-4
+        coefficients) must not abort optimize_rectangular: the grid search
+        scores it exactly and the seed sums the remaining classes."""
+        import logging
+
+        from repro.core.affine import AffineRef
+
+        g = np.array([[-1, 0], [0, 1], [0, 0]])
+        refs = [
+            AffineRef("A", g, [-1, -3]),
+            AffineRef("A", g, [-1, -4]),
+            AffineRef("A", g, [0, -3]),
+        ]
+        sets = partition_references(refs)
+        with pytest.raises(OptimizationError):
+            rect_cost_coefficients(sets, 3)
+        space = IterationSpace([0, 0, 0], [5, 5, 3])
+        with caplog.at_level(logging.WARNING):
+            res = optimize_rectangular(sets, space, 4, scoring="exact")
+        assert res.grid is not None
+        assert "no Theorem-4 coefficients" in caplog.text
+
+
+class TestRoundTile:
+    def test_repairs_volume_drift(self):
+        from repro.core.optimize import _round_tile
+
+        lm = np.array([[2.2, 0.0], [0.0, 1.9]])
+        tile = _round_tile(lm, volume=abs(np.linalg.det(lm)))
+        det = abs(np.linalg.det(tile.l_matrix))
+        assert det > 0
+        assert abs(det - 4.18) <= 0.5 * 4.18
+
+    def test_searches_neighbours_when_rounding_collapses(self):
+        """Entries below 0.5 all round to zero; the corner search must find
+        a nonsingular neighbour."""
+        from repro.core.optimize import _round_tile
+
+        lm = np.array([[0.6, 0.0], [0.4, 0.9]])
+        tile = _round_tile(lm, volume=abs(np.linalg.det(lm)), tol=1.0)
+        assert abs(np.linalg.det(tile.l_matrix)) >= 1
+
+    def test_raises_when_no_candidate_fits(self):
+        from repro.core.optimize import _round_tile
+
+        lm = np.array([[0.5, 0.0], [0.0, 0.5]])
+        with pytest.raises(OptimizationError, match="could not round"):
+            _round_tile(lm, volume=0.25, tol=0.1)
+
+    def test_prefers_candidate_minimising_objective(self):
+        """With uisets given, the chosen rounding minimises the Theorem-2
+        objective among volume-feasible candidates, not just the nearest."""
+        from repro.core.affine import AffineRef
+        from repro.core.optimize import _round_tile, _theorem2_objective
+
+        refs = [
+            AffineRef("B", np.eye(2, dtype=int), [0, 0]),
+            AffineRef("B", np.eye(2, dtype=int), [3, 0]),
+        ]
+        sets = partition_references(refs)
+        lm = np.array([[3.5, 0.0], [0.0, 4.5]])
+        tile = _round_tile(lm, uisets=sets, volume=abs(np.linalg.det(lm)))
+        chosen = _theorem2_objective(
+            sets, tile.l_matrix.astype(float).ravel(), 2
+        )
+        for other in ([3, 4], [4, 4], [4, 5]):
+            cand = np.diag(np.array(other, dtype=float))
+            det = abs(np.linalg.det(cand))
+            if abs(det - 15.75) > 0.5 * 15.75:
+                continue
+            assert chosen <= _theorem2_objective(sets, cand.ravel(), 2) + 1e-9

@@ -253,3 +253,68 @@ def test_results_identical_matrix_is_deep():
     assert np.isclose(
         fast.mean_misses_per_processor(), exact.mean_misses_per_processor()
     )
+
+
+class TestEngineObservability:
+    """The auto-fallback decision is recorded, not silent (SimulationResult
+    engine fields, the machine metrics registry, and a log warning)."""
+
+    def test_fast_path_records_engine(self):
+        nest = PROGRAMS["example8"]()
+        r = simulate_nest(nest, _half_tile(nest), 4, engine="fast")
+        assert r.engine == "fast"
+        assert r.engine_fallback is None
+
+    def test_auto_fallback_reason_recorded(self, caplog):
+        import logging
+
+        from repro.sim.fast import fast_path_blockers
+
+        nest = PROGRAMS["example8"]()
+        machine = _machine(4, cache_capacity=64)
+        assert fast_path_blockers(machine) == ["finite cache capacity (64 lines)"]
+        with caplog.at_level(logging.WARNING):
+            r = simulate_nest(
+                nest, _half_tile(nest), 4, engine="auto", machine=machine
+            )
+        assert r.engine == "exact"
+        assert "finite cache capacity" in r.engine_fallback
+        assert "fell back to the exact engine" in caplog.text
+        counts = machine.metrics.by_label("sim.engine.fallback", "reason")
+        assert counts == {"finite cache capacity (64 lines)": 1}
+
+    def test_explicit_fast_error_names_blockers(self):
+        nest = PROGRAMS["example8"]()
+        with pytest.raises(SimulationError, match="caching disabled"):
+            simulate_nest(
+                nest,
+                _half_tile(nest),
+                4,
+                engine="fast",
+                machine=_machine(4, cache_enabled=False),
+            )
+
+    def test_engine_fields_do_not_break_parity(self):
+        """engine/engine_fallback are excluded from equality: fast and
+        exact results still compare equal."""
+        nest = PROGRAMS["example8"]()
+        tile = _half_tile(nest)
+        fast = simulate_nest(nest, tile, 4, engine="fast")
+        exact = simulate_nest(nest, tile, 4, engine="exact")
+        assert fast.engine != exact.engine
+        assert fast == exact
+
+
+class TestWorkersValidation:
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_rejects_nonpositive_workers(self, workers):
+        nest = PROGRAMS["example8"]()
+        with pytest.raises(SimulationError, match="workers must be >= 1"):
+            simulate_nest(nest, _half_tile(nest), 4, workers=workers)
+
+    def test_workers_one_allowed(self):
+        nest = PROGRAMS["example8"]()
+        tile = _half_tile(nest)
+        assert simulate_nest(nest, tile, 4, workers=1) == simulate_nest(
+            nest, tile, 4
+        )
