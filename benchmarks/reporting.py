@@ -30,6 +30,7 @@ def write_bench_report(
     estimate=None,
     sim=None,
     program: dict | None = None,
+    caches: dict | None = None,
     meta: dict | None = None,
 ) -> str | None:
     """Write ``BENCH_<name>.json`` if ``REPRO_BENCH_REPORTS`` is set.
@@ -47,6 +48,7 @@ def write_bench_report(
         estimate=estimate,
         sim=sim,
         program=program,
+        caches=caches,
         meta=meta,
     )
     path = os.path.join(dest, f"BENCH_{name}.json")

@@ -301,4 +301,49 @@ def box_points_array(lo, hi) -> np.ndarray:
     return np.stack([m.ravel() for m in mesh], axis=1)
 
 
-__all__.append("box_points_array")
+def iter_box_chunks(lo, hi, chunk_size: int):
+    """Yield the points of the box ``lo <= x <= hi`` in ``(N, l)`` chunks.
+
+    Streams the same lexicographic point order as :func:`box_points_array`
+    without ever materialising more than ``chunk_size`` points — the
+    bounded-memory substrate for the chunked vectorized membership tests
+    in :mod:`repro.lattice.points`.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    lo = as_int_vector(lo, name="lo")
+    hi = as_int_vector(hi, name="hi")
+    n = box_volume(lo, hi)
+    if n == 0:
+        return
+    dims = tuple(int(d) for d in (hi - lo + 1))
+    for start in range(0, n, chunk_size):
+        flat = np.arange(start, min(start + chunk_size, n), dtype=np.int64)
+        coords = np.stack(np.unravel_index(flat, dims), axis=1)
+        yield coords + lo
+
+
+def int_adjugate(m) -> np.ndarray:
+    """Exact adjugate of a square integer matrix (``adj(M)·M = det(M)·I``).
+
+    Cofactor expansion with exact :func:`int_det` minors; entries are
+    returned as an object-dtype array of Python ints so they never
+    overflow.  Intended for small matrices (loop depths), where the
+    ``O(n²)`` minor determinants are trivially cheap.
+    """
+    a = as_int_matrix(m, name="adjugate argument")
+    n, nc = a.shape
+    if n != nc:
+        raise SingularMatrixError(f"adjugate requires a square matrix, got {a.shape}")
+    adj = np.empty((n, n), dtype=object)
+    for i in range(n):
+        rows = [r for r in range(n) if r != i]
+        for j in range(n):
+            cols = [c for c in range(n) if c != j]
+            minor = a[np.ix_(rows, cols)] if n > 1 else np.ones((1, 1), dtype=np.int64)
+            det = int_det(minor) if n > 1 else 1
+            adj[j, i] = (-1) ** (i + j) * det
+    return adj
+
+
+__all__ += ["box_points_array", "iter_box_chunks", "int_adjugate"]

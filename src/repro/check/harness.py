@@ -253,6 +253,45 @@ def _failure_entry(
     }
 
 
+def _run_task_batch(
+    tasks: list[tuple], seed: int, config: CheckConfig, fault: str | None
+) -> list[tuple]:
+    """Run a contiguous batch of check tasks (module-level for pickling).
+
+    Each task is ``("corpus", spec_dict)`` or ``("generated", case_id)``.
+    The fault context is applied *inside* this function so fault
+    injection behaves identically whether the batch runs in the driver
+    process (``workers=1``) or in a pool child — the driver never
+    activates the fault itself, which would double-apply it under the
+    fork start method.  Shrinking of failures also happens here, so
+    failing cases parallelise with the rest.
+    """
+    from ..lattice.points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
+
+    out = []
+    with inject_fault(fault):
+        for origin, payload in tasks:
+            if origin == "corpus":
+                spec = spec_from_dict(payload)
+            else:
+                spec = generate_case(payload, seed, max_accesses=config.max_accesses)
+            art = run_case(spec, config)
+            entry = _failure_entry(spec, art, config, origin) if art.violations else None
+            first = (
+                (art.violations[0].invariant, art.violations[0].detail)
+                if art.violations
+                else None
+            )
+            out.append((dict(art.tally.counts), entry, first))
+    # Ship the analytic-cache entries back so a --cache-dir driver can
+    # persist what the batch computed (child processes die with the pool).
+    return (
+        out,
+        DEFAULT_LATTICE_CACHE.export_entries(),
+        DEFAULT_FOOTPRINT_TABLE.export_entries(),
+    )
+
+
 def run_check(
     *,
     cases: int = 100,
@@ -260,44 +299,76 @@ def run_check(
     corpus_path: str | None = None,
     config: CheckConfig | None = None,
     fault: str | None = None,
+    workers: int = 1,
 ) -> dict:
-    """Replay the corpus, fuzz ``cases`` fresh nests, report the verdict."""
+    """Replay the corpus, fuzz ``cases`` fresh nests, report the verdict.
+
+    ``workers > 1`` partitions the tasks (corpus replays first, then the
+    seeded generated cases) into contiguous batches across a
+    ``ProcessPoolExecutor``.  Per-task results are merged back in the
+    original task order — tallies, failure entries, and shrunk witnesses
+    are all deterministic per case — so the report is identical for any
+    worker count (``duration_s`` aside), and ``workers`` is deliberately
+    not recorded in it.
+    """
     config = config or CheckConfig()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     tally = Tally()
     failures: list[dict] = []
-    total = 0
     corpus_info: dict | None = None
     t0 = time.perf_counter()
 
-    with inject_fault(fault):
-        if corpus_path and os.path.exists(corpus_path):
-            entries = load_corpus(corpus_path)
-            corpus_info = {"path": str(corpus_path), "entries": len(entries)}
-            for entry in entries:
-                spec = spec_from_dict(entry["spec"])
-                art = run_case(spec, config)
-                tally.merge(art.tally)
-                total += 1
-                if art.violations:
-                    failures.append(_failure_entry(spec, art, config, "corpus"))
-        for case_id in range(cases):
-            spec = generate_case(case_id, seed, max_accesses=config.max_accesses)
-            art = run_case(spec, config)
-            tally.merge(art.tally)
-            total += 1
-            if art.violations:
+    tasks: list[tuple] = []
+    if corpus_path and os.path.exists(corpus_path):
+        entries = load_corpus(corpus_path)
+        corpus_info = {"path": str(corpus_path), "entries": len(entries)}
+        tasks.extend(("corpus", entry["spec"]) for entry in entries)
+    tasks.extend(("generated", case_id) for case_id in range(cases))
+
+    if workers == 1 or len(tasks) <= 1:
+        results, _, _ = _run_task_batch(tasks, seed, config, fault)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..lattice.points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
+
+        # Small contiguous batches load-balance the uneven per-case cost
+        # (a failing case also pays for shrinking); collecting futures in
+        # submission order restores the serial task order.
+        nworkers = min(workers, len(tasks))
+        chunk = -(-len(tasks) // (nworkers * 4))
+        batches = [tasks[i : i + chunk] for i in range(0, len(tasks), chunk)]
+        results = []
+        with ProcessPoolExecutor(max_workers=nworkers) as pool:
+            futures = [
+                pool.submit(_run_task_batch, batch, seed, config, fault)
+                for batch in batches
+            ]
+            for future in futures:
+                batch_results, lattice_entries, table_entries = future.result()
+                results.extend(batch_results)
+                if fault is None:
+                    # Keep what the children computed (for --cache-dir
+                    # persistence); faulted runs are self-tests whose
+                    # poisoned values must never reach a shared cache.
+                    DEFAULT_LATTICE_CACHE.absorb_entries(lattice_entries)
+                    DEFAULT_FOOTPRINT_TABLE.absorb_entries(table_entries)
+
+    for (origin, payload), (counts, entry, first) in zip(tasks, results):
+        for name, count in counts.items():
+            tally.counts[name] = tally.counts.get(name, 0) + count
+        if entry is not None:
+            if origin == "generated" and first is not None:
                 logger.warning(
-                    "case %d violated %s: %s",
-                    case_id,
-                    art.violations[0].invariant,
-                    art.violations[0].detail,
+                    "case %d violated %s: %s", payload, first[0], first[1]
                 )
-                failures.append(_failure_entry(spec, art, config, "generated"))
+            failures.append(entry)
 
     return build_check_report(
-        cases=total,
+        cases=len(tasks),
         seed=seed,
-        passed=total - len(failures),
+        passed=len(tasks) - len(failures),
         failures=failures,
         invariant_evaluations=tally.counts,
         corpus=corpus_info,
@@ -323,6 +394,12 @@ def check_main(argv: list[str] | None = None, *, out=None) -> int:
                         help="write the repro.check-report JSON here")
     parser.add_argument("--inject-fault", default=None, choices=sorted(FAULTS),
                         help="deliberately break one oracle (self-test)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="partition the cases across N worker processes "
+                        "(the report is identical for any N)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist the analytic caches (warm start) in DIR; "
+                        "defaults to $REPRO_CACHE_DIR when that is set")
     parser.add_argument("--max-accesses", type=int, default=6000)
     parser.add_argument("--shrink-budget", type=int, default=200)
     parser.add_argument("--log-level", default=None,
@@ -330,9 +407,20 @@ def check_main(argv: list[str] | None = None, *, out=None) -> int:
     args = parser.parse_args(argv)
     if args.cases < 0:
         parser.error("--cases must be >= 0")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.log_level:
         configure_logging(args.log_level)
     out = out or sys.stdout
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir:
+        from ..lattice.persist import load_caches, save_caches
+
+        loaded = load_caches(cache_dir)
+        logger.info(
+            "warm-started analytic caches: %d entries from %s", loaded, cache_dir
+        )
 
     config = CheckConfig(
         max_accesses=args.max_accesses, shrink_budget=args.shrink_budget
@@ -343,7 +431,12 @@ def check_main(argv: list[str] | None = None, *, out=None) -> int:
         corpus_path=args.corpus,
         config=config,
         fault=args.inject_fault,
+        workers=args.workers,
     )
+    if cache_dir and args.inject_fault is None:
+        # A faulted run computes deliberately wrong values; never let them
+        # reach the persistent warm-start cache.
+        save_caches(cache_dir)
     if args.json_report:
         dump_report(report, args.json_report)
 

@@ -5,6 +5,7 @@
     python -m repro program.doall -p 16 -D N=64 [--method auto]
                                   [--simulate] [--sweeps 2]
                                   [--engine auto|fast|exact] [--workers N]
+                                  [--cache-dir DIR]
                                   [--pseudocode 0,1] [--data]
                                   [--json-report out.json]
                                   [--trace-out trace.jsonl] [--trace-sample 10]
@@ -90,7 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         metavar="N",
-        help="fan the fast engine's bulk phase out over N processes",
+        help="fan the optimizer's grid search and the fast engine's bulk "
+        "phase out over N processes",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the analytic caches (warm start) in DIR; defaults to "
+        "$REPRO_CACHE_DIR when that is set, otherwise persistence is off",
     )
     p.add_argument(
         "--pseudocode",
@@ -190,6 +198,16 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
     if args.trace_out and not args.simulate:
         emit("note: --trace-out has no effect without --simulate")
 
+    import os
+
+    from .lattice import DEFAULT_LATTICE_CACHE, analytic_cache_stats
+    from .lattice.persist import load_caches, save_caches
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir:
+        loaded = load_caches(cache_dir)
+        logger.info("warm-started analytic caches: %d entries from %s", loaded, cache_dir)
+
     source = (
         sys.stdin.read() if args.source == "-" else open(args.source).read()
     )
@@ -230,7 +248,11 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
     emit()
 
     try:
-        result = part.partition(method=args.method)
+        result = part.partition(
+            method=args.method,
+            workers=args.workers or 1,
+            cache=DEFAULT_LATTICE_CACHE if cache_dir else None,
+        )
     except ReproError as e:
         emit(f"error: {e}")
         return 1
@@ -317,6 +339,7 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
                 "method": args.method,
                 "sweeps": args.sweeps,
             },
+            caches=analytic_cache_stats(),
         )
         try:
             dump_report(report, args.json_report)
@@ -326,6 +349,13 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
         emit()
         emit(f"run report -> {args.json_report}")
         logger.info("wrote run report to %s", args.json_report)
+
+    if cache_dir:
+        try:
+            written = save_caches(cache_dir)
+            logger.info("persisted analytic caches: %d entries in %s", written, cache_dir)
+        except OSError as e:
+            emit(f"note: could not persist analytic caches to {cache_dir!r}: {e}")
 
     if args.profile:
         emit()

@@ -152,6 +152,159 @@ def factorizations(p: int, l: int):
             yield (f, *rest)
 
 
+def _exact_footprint(s: UISet, tile: RectangularTile, cache: LatticeCountCache) -> float:
+    # The exact union size depends only on the class geometry (G and
+    # offsets up to a common translation, Proposition 1) and the tile
+    # sides — the memoisation key.
+    key = (
+        "cumulative-exact",
+        s.g.shape,
+        s.g.tobytes(),
+        (s.offsets - s.offsets[0]).tobytes(),
+        tuple(int(x) for x in tile.sides),
+    )
+    return cache.get_or_compute(
+        key, lambda: float(cumulative_footprint_size_exact(s, tile))
+    )
+
+
+def _class_footprint(
+    s: UISet,
+    u: np.ndarray | None,
+    tile: RectangularTile,
+    scoring: str,
+    cache: LatticeCountCache,
+) -> float:
+    if scoring == "exact":
+        return _exact_footprint(s, tile, cache)
+    if u is None:
+        # No Theorem-4 coefficients (dependent rows): exact fallback,
+        # as cumulative_footprint_rect would have raised.
+        return _exact_footprint(s, tile, cache)
+    # Theorem 4 with the precomputed u — same expression as
+    # cumulative_footprint_rect evaluates, term for term.
+    sides = tile.sides.astype(float)
+    total = float(np.prod(sides))
+    for i, ui in enumerate(u):
+        total += float(ui) * float(np.prod(np.delete(sides, i)))
+    return total
+
+
+def _score_candidate(
+    uisets: list[UISet],
+    spread_u: list,
+    kernels: list,
+    tile: RectangularTile,
+    grid: tuple[int, ...],
+    scoring: str,
+    cache: LatticeCountCache,
+) -> float:
+    """Per-tile footprint plus a write-sharing coherence penalty.
+
+    A class whose ``G`` has a nonzero integer kernel re-touches the
+    same element along kernel directions (e.g. matmul's ``C[i,j]``
+    along ``k``).  Cutting such a direction makes ``m`` tiles write
+    the same elements; each extra writer costs at least one
+    invalidation + refetch per element, so write classes pay
+    ``(m − 1) × footprint`` on top (Appendix A's "slightly more
+    expensive communication").  Footprints alone cannot distinguish
+    those grids — this term is what steers matmul to block tiles
+    that keep ``C`` private.
+    """
+    total = 0.0
+    for idx, s in enumerate(uisets):
+        fp = _class_footprint(s, spread_u[idx], tile, scoring, cache)
+        total += fp
+        ker = kernels[idx]
+        if s.has_write() and ker.size:
+            m = 1
+            for k, p_k in enumerate(grid):
+                if p_k > 1 and np.any(ker[:, k] != 0):
+                    m *= p_k
+            total += (m - 1) * fp
+    return total
+
+
+def _candidate_tile(ints: np.ndarray, grid: tuple[int, ...]) -> RectangularTile:
+    return RectangularTile(
+        tuple(-(-int(n) // int(p)) for n, p in zip(ints, grid))
+    )
+
+
+def _score_grid_batch(
+    uisets: list[UISet],
+    spread_u: list,
+    kernels: list,
+    ints: np.ndarray,
+    grids: list[tuple[int, ...]],
+    scoring: str,
+    cache_entries: list,
+):
+    """Worker: score a contiguous batch of grids with a private cache.
+
+    Runs in a ``ProcessPoolExecutor`` child (must stay module-level for
+    pickling).  The private cache is warm-started from the caller's
+    exported entries; the new entries travel back so the caller can
+    absorb them — the merged parent cache ends up with the same keys
+    regardless of how the batches were split.
+    """
+    cache = LatticeCountCache()
+    cache.absorb_entries(cache_entries)
+    scores = [
+        _score_candidate(
+            uisets, spread_u, kernels, _candidate_tile(ints, grid), grid, scoring, cache
+        )
+        for grid in grids
+    ]
+    seed_keys = {k for k, _ in cache_entries}
+    fresh = [(k, v) for k, v in cache.export_entries() if k not in seed_keys]
+    return scores, fresh
+
+
+def _parallel_scores(
+    uisets: list[UISet],
+    spread_u: list,
+    kernels: list,
+    ints: np.ndarray,
+    feasible: list[tuple[int, ...]],
+    scoring: str,
+    cache: LatticeCountCache,
+    workers: int,
+) -> list[float]:
+    """Fan the candidate grids out over a process pool; order-preserving.
+
+    Contiguous batches keep cache locality (adjacent factorisations share
+    tile sides); results are concatenated in submission order, so the
+    caller's reduction sees exactly the serial candidate order.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    nbatches = min(workers, len(feasible))
+    bounds = [round(i * len(feasible) / nbatches) for i in range(nbatches + 1)]
+    batches = [feasible[bounds[i] : bounds[i + 1]] for i in range(nbatches)]
+    seed_entries = cache.export_entries()
+    scores: list[float] = []
+    with ProcessPoolExecutor(max_workers=nbatches) as pool:
+        futures = [
+            pool.submit(
+                _score_grid_batch,
+                uisets,
+                spread_u,
+                kernels,
+                ints,
+                batch,
+                scoring,
+                seed_entries,
+            )
+            for batch in batches
+        ]
+        for future in futures:
+            batch_scores, fresh = future.result()
+            scores.extend(batch_scores)
+            cache.absorb_entries(fresh)
+    return scores
+
+
 def _continuous_lagrange(a: np.ndarray, extents: np.ndarray, volume: float) -> np.ndarray:
     """Solve ``min Σ A_i V/s_i s.t. Π s_i = V, 1 <= s_i <= N_i``.
 
@@ -208,6 +361,7 @@ def optimize_rectangular(
     *,
     scoring: str = "theorem4",
     cache: LatticeCountCache | None = None,
+    workers: int = 1,
 ) -> RectOptResult:
     """Find the best rectangular tile for ``P`` processors (Examples 8-10).
 
@@ -229,7 +383,16 @@ def optimize_rectangular(
     call; pass a shared instance to reuse counts across calls — e.g. a
     processor-count sweep over one nest, where every ``P`` re-scores
     overlapping side sets.
+
+    ``workers > 1`` scores the factorisation candidates in parallel
+    batches on a ``ProcessPoolExecutor``.  Each worker gets a private
+    cache warm-started from ``cache``; new entries are merged back, and
+    the result is identical to the serial search for any worker count
+    (candidates keep their enumeration order through the deterministic
+    ``(cost, distance, grid)`` reduction).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     uisets = _as_uisets(accesses_or_sets)
     l = space.depth
     extents = space.extents.astype(float)
@@ -277,78 +440,41 @@ def optimize_rectangular(
             spread_u.append(None)
         kernels.append(integer_kernel_basis(s.g))
 
-    def exact_footprint(s: UISet, tile: RectangularTile) -> float:
-        # The exact union size depends only on the class geometry (G and
-        # offsets up to a common translation, Proposition 1) and the tile
-        # sides — the memoisation key.
-        key = (
-            "cumulative-exact",
-            s.g.shape,
-            s.g.tobytes(),
-            (s.offsets - s.offsets[0]).tobytes(),
-            tuple(int(x) for x in tile.sides),
-        )
-        return cache.get_or_compute(
-            key, lambda: float(cumulative_footprint_size_exact(s, tile))
-        )
-
-    def class_footprint(idx: int, s: UISet, tile: RectangularTile) -> float:
-        if scoring == "exact":
-            return exact_footprint(s, tile)
-        u = spread_u[idx]
-        if u is None:
-            # No Theorem-4 coefficients (dependent rows): exact fallback,
-            # as cumulative_footprint_rect would have raised.
-            return exact_footprint(s, tile)
-        # Theorem 4 with the precomputed u — same expression as
-        # cumulative_footprint_rect evaluates, term for term.
-        sides = tile.sides.astype(float)
-        total = float(np.prod(sides))
-        for i, ui in enumerate(u):
-            total += float(ui) * float(np.prod(np.delete(sides, i)))
-        return total
-
-    def score(tile: RectangularTile, grid: tuple[int, ...]) -> float:
-        """Per-tile footprint plus a write-sharing coherence penalty.
-
-        A class whose ``G`` has a nonzero integer kernel re-touches the
-        same element along kernel directions (e.g. matmul's ``C[i,j]``
-        along ``k``).  Cutting such a direction makes ``m`` tiles write
-        the same elements; each extra writer costs at least one
-        invalidation + refetch per element, so write classes pay
-        ``(m − 1) × footprint`` on top (Appendix A's "slightly more
-        expensive communication").  Footprints alone cannot distinguish
-        those grids — this term is what steers matmul to block tiles
-        that keep ``C`` private.
-        """
-        total = 0.0
-        for idx, s in enumerate(uisets):
-            fp = class_footprint(idx, s, tile)
-            total += fp
-            ker = kernels[idx]
-            if s.has_write() and ker.size:
-                m = 1
-                for k, p_k in enumerate(grid):
-                    if p_k > 1 and np.any(ker[:, k] != 0):
-                        m *= p_k
-                total += (m - 1) * fp
-        return total
-
     best_key: tuple[float, float, tuple[int, ...]] | None = None
     best_tile: RectangularTile | None = None
     best_grid: tuple[int, ...] | None = None
     ints = space.extents
-    with _span("optimize.rectangular.grid_search", processors=processors):
-        for grid in factorizations(processors, l):
-            if any(p > n for p, n in zip(grid, ints)):
-                continue
-            sides = tuple(-(-int(n) // int(p)) for n, p in zip(ints, grid))
-            tile = RectangularTile(sides)
-            c = score(tile, grid)
+    feasible = [
+        grid
+        for grid in factorizations(processors, l)
+        if not any(p > n for p, n in zip(grid, ints))
+    ]
+    with _span(
+        "optimize.rectangular.grid_search", processors=processors, workers=workers
+    ):
+        if workers == 1 or len(feasible) < 2 * workers:
+            scores = [
+                _score_candidate(
+                    uisets,
+                    spread_u,
+                    kernels,
+                    _candidate_tile(ints, grid),
+                    grid,
+                    scoring,
+                    cache,
+                )
+                for grid in feasible
+            ]
+        else:
+            scores = _parallel_scores(
+                uisets, spread_u, kernels, ints, feasible, scoring, cache, workers
+            )
+        for grid, c in zip(feasible, scores):
+            tile = _candidate_tile(ints, grid)
             # Deterministic tie-break: prefer grids closest to the continuous
             # optimum (ratio distance), then lexicographic.
             dist = sum(
-                abs(math.log(sd / cs)) for sd, cs in zip(sides, cont) if cs > 0
+                abs(math.log(sd / cs)) for sd, cs in zip(tile.sides, cont) if cs > 0
             )
             key = (c, dist, grid)
             if best_key is None or key < best_key:

@@ -136,6 +136,8 @@ class LoopPartitioner:
         *,
         method: str = "rectangular",
         scoring: str = "theorem4",
+        workers: int = 1,
+        cache=None,
     ) -> PartitionResult:
         """Compute the partition.
 
@@ -145,6 +147,11 @@ class LoopPartitioner:
           Alewife subset; Section 4).
         * ``'parallelepiped'`` — general Theorem 2 minimisation.
         * ``'auto'`` — run both, keep the better *exact* predicted cost.
+
+        ``workers`` parallelises the rectangular grid search
+        (:func:`optimize_rectangular`'s process pool); ``cache`` is an
+        optional shared :class:`~repro.lattice.points.LatticeCountCache`
+        for its exact enumerations (e.g. the CLI's warm-start cache).
         """
         space = self.nest.space
         with span("partition.comm_free"):
@@ -156,7 +163,12 @@ class LoopPartitioner:
         if method in ("rectangular", "auto"):
             with span("optimize.rectangular", processors=self.processors):
                 rect_res = optimize_rectangular(
-                    list(self.uisets), space, self.processors, scoring=scoring
+                    list(self.uisets),
+                    space,
+                    self.processors,
+                    scoring=scoring,
+                    workers=workers,
+                    cache=cache,
                 )
                 est = estimate_traffic(list(self.uisets), rect_res.tile, method="exact")
             candidates.append(

@@ -28,13 +28,21 @@ from .unimodular import (
 )
 from .lattice import Lattice, BoundedLattice
 from .points import (
+    DEFAULT_FOOTPRINT_TABLE,
     DEFAULT_LATTICE_CACHE,
+    FootprintTable,
     LatticeCountCache,
+    analytic_cache_stats,
     count_distinct_images,
     parallelepiped_lattice_points,
+    parallelepiped_lattice_points_scalar,
     parallelogram_boundary_points,
     distinct_values_1d,
+    scalar_kernels_enabled,
+    union_of_boxes_size,
+    union_of_boxes_size_scalar,
 )
+from .persist import default_cache_dir, load_caches, save_caches
 
 __all__ = [
     "hermite_normal_form",
@@ -50,8 +58,18 @@ __all__ = [
     "BoundedLattice",
     "count_distinct_images",
     "parallelepiped_lattice_points",
+    "parallelepiped_lattice_points_scalar",
     "parallelogram_boundary_points",
+    "union_of_boxes_size",
+    "union_of_boxes_size_scalar",
     "distinct_values_1d",
+    "scalar_kernels_enabled",
+    "analytic_cache_stats",
+    "FootprintTable",
+    "DEFAULT_FOOTPRINT_TABLE",
     "LatticeCountCache",
     "DEFAULT_LATTICE_CACHE",
+    "default_cache_dir",
+    "load_caches",
+    "save_caches",
 ]

@@ -1,0 +1,185 @@
+"""On-disk persistence for the analytic caches (warm start).
+
+:class:`~repro.lattice.points.LatticeCountCache` and
+:class:`~repro.lattice.points.FootprintTable` memoise exact enumeration
+counts under canonical keys — values that never change for a given key.
+That makes them safe to persist: repeated CLI runs and fuzz shards over
+the same programs keep recomputing identical counts from scratch, so the
+CLI (``--cache-dir``) and ``repro check`` load a versioned JSON snapshot
+at startup and merge the session's new entries back at exit.
+
+File format (``analytic_cache.json`` in the cache directory)::
+
+    {"schema": "repro.analytic-cache", "version": 1,
+     "caches": {"footprint_table": [[key, value], ...],
+                "lattice_cache":   [[key, value], ...]}}
+
+Keys are nested tuples of ints / strings / bytes; they are encoded
+recursively with tagged objects (``{"t": [...]}`` for tuples,
+``{"b": "<hex>"}`` for bytes) so the JSON roundtrip is lossless.  A file
+with an unknown schema or version is ignored, never migrated: the cache
+is a pure accelerator and stale data must not poison results.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+
+from .points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CACHE_VERSION",
+    "CACHE_FILENAME",
+    "default_cache_dir",
+    "encode_key",
+    "decode_key",
+    "load_caches",
+    "save_caches",
+]
+
+logger = logging.getLogger("repro.lattice.persist")
+
+CACHE_SCHEMA = "repro.analytic-cache"
+CACHE_VERSION = 1
+CACHE_FILENAME = "analytic_cache.json"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def encode_key(obj):
+    """Lossless JSON encoding of a cache key (int/str/bytes/nested tuple)."""
+    if isinstance(obj, bool):  # bool is an int subclass; keys never use it
+        raise TypeError(f"unsupported cache key component: {obj!r}")
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, bytes):
+        return {"b": obj.hex()}
+    if isinstance(obj, tuple):
+        return {"t": [encode_key(x) for x in obj]}
+    raise TypeError(f"unsupported cache key component: {type(obj).__name__}")
+
+
+def decode_key(obj):
+    """Inverse of :func:`encode_key`."""
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, dict):
+        if set(obj) == {"b"}:
+            return bytes.fromhex(obj["b"])
+        if set(obj) == {"t"}:
+            return tuple(decode_key(x) for x in obj["t"])
+    raise ValueError(f"malformed cache key component: {obj!r}")
+
+
+def _cache_map(footprint_table, lattice_cache) -> dict:
+    return {
+        "footprint_table": footprint_table
+        if footprint_table is not None
+        else DEFAULT_FOOTPRINT_TABLE,
+        "lattice_cache": lattice_cache if lattice_cache is not None else DEFAULT_LATTICE_CACHE,
+    }
+
+
+def _read_entries(path: Path) -> dict[str, list] | None:
+    """Decoded ``{cache_name: [(key, value), ...]}`` from ``path``, or None."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        logger.warning("ignoring unreadable analytic cache %s: %s", path, exc)
+        return None
+    if (
+        not isinstance(data, dict)
+        or data.get("schema") != CACHE_SCHEMA
+        or data.get("version") != CACHE_VERSION
+        or not isinstance(data.get("caches"), dict)
+    ):
+        logger.warning("ignoring analytic cache %s with unknown schema/version", path)
+        return None
+    out: dict[str, list] = {}
+    for name, pairs in data["caches"].items():
+        decoded = []
+        try:
+            for key, value in pairs:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise TypeError(f"non-numeric cache value: {value!r}")
+                decoded.append((decode_key(key), value))
+        except (TypeError, ValueError) as exc:
+            logger.warning("ignoring malformed entries for cache %r in %s: %s", name, path, exc)
+            continue
+        out[name] = decoded
+    return out
+
+
+def load_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> int:
+    """Warm-start the analytic caches from ``cache_dir``.
+
+    Returns the number of entries absorbed (also visible as the caches'
+    ``loads`` counters).  Missing or invalid files load nothing.
+    """
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    entries = _read_entries(directory / CACHE_FILENAME)
+    if not entries:
+        return 0
+    caches = _cache_map(footprint_table, lattice_cache)
+    loaded = 0
+    for name, cache in caches.items():
+        loaded += cache.absorb_entries(entries.get(name, []))
+    return loaded
+
+
+def save_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> int:
+    """Persist the analytic caches into ``cache_dir`` (merge semantics).
+
+    Entries already on disk are kept (union with the in-memory tables),
+    so concurrent runs only ever add keys.  The write is atomic
+    (temp file + ``os.replace``).  Returns the total number of entries
+    written.
+    """
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / CACHE_FILENAME
+    on_disk = _read_entries(path) or {}
+    caches = _cache_map(footprint_table, lattice_cache)
+    payload: dict[str, list] = {}
+    written = 0
+    for name, cache in caches.items():
+        merged = {}
+        for key, value in on_disk.get(name, []):
+            merged[key] = value
+        for key, value in cache.export_entries():
+            merged[key] = value
+        payload[name] = sorted(
+            ([encode_key(k), v] for k, v in merged.items()), key=repr
+        )
+        written += len(merged)
+    doc = {"schema": CACHE_SCHEMA, "version": CACHE_VERSION, "caches": payload}
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".analytic_cache.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return written

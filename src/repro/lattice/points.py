@@ -9,8 +9,8 @@ Contents
 * :func:`count_distinct_images` — exact footprint of a box tile under an
   affine reference, by vectorised enumeration (Definition 3 verbatim).
 * :func:`parallelepiped_lattice_points` — integer points on or inside the
-  parallelepiped ``S(Q)`` of Definition 7 (Pick's theorem in 2-D, half-open
-  inequality enumeration in general).
+  parallelepiped ``S(Q)`` of Definition 7 (Pick's theorem in 2-D, chunked
+  exact-integer membership enumeration in general).
 * :func:`parallelogram_boundary_points` — boundary lattice points of a 2-D
   parallelogram (the "+ L1 + L2" term of Example 6).
 * :func:`union_of_boxes_size` — exact size of a union of translated integer
@@ -19,11 +19,24 @@ Contents
   approximation.
 * :func:`distinct_values_1d` — distinct values of a 1-D affine form over a
   box (the hard ``d = 1`` case of Section 3.8).
+
+Kernel variants
+---------------
+The hot kernels (:func:`union_of_boxes_size`,
+:func:`parallelepiped_lattice_points`) each exist twice: a vectorized
+NumPy implementation (the default) and the original scalar reference
+implementation, kept as a differential oracle.  Setting
+``REPRO_SCALAR_KERNELS=1`` in the environment routes the public names to
+the scalar paths; the ``*_scalar`` functions are also callable directly.
+Both variants are exact — ``tests/test_kernels_vectorized.py`` asserts
+they bit-match on fuzzed inputs.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+import os
 from fractions import Fraction
 
 import numpy as np
@@ -33,7 +46,10 @@ from .._util import (
     as_int_vector,
     box_points_array,
     box_volume,
+    int_adjugate,
     int_det,
+    int_rank,
+    iter_box_chunks,
     vector_gcd,
 )
 
@@ -41,14 +57,31 @@ __all__ = [
     "count_distinct_images",
     "enumerate_footprint",
     "parallelepiped_lattice_points",
+    "parallelepiped_lattice_points_scalar",
     "parallelogram_boundary_points",
     "union_of_boxes_size",
+    "union_of_boxes_size_scalar",
     "distinct_values_1d",
+    "scalar_kernels_enabled",
+    "analytic_cache_stats",
     "FootprintTable",
     "DEFAULT_FOOTPRINT_TABLE",
     "LatticeCountCache",
     "DEFAULT_LATTICE_CACHE",
 ]
+
+#: Bounding-box point budget of the chunked vectorized general-case
+#: parallelepiped count.  Peak memory is bounded by the chunk size, not
+#: this cap (the scalar oracle materialises the whole box and keeps the
+#: historical 5M cap).
+PARALLELEPIPED_ENUM_CAP = 50_000_000
+_PARALLELEPIPED_SCALAR_CAP = 5_000_000
+_MEMBERSHIP_CHUNK = 1 << 18
+
+
+def scalar_kernels_enabled() -> bool:
+    """True when ``REPRO_SCALAR_KERNELS`` selects the scalar oracle paths."""
+    return os.environ.get("REPRO_SCALAR_KERNELS", "") not in ("", "0")
 
 
 def enumerate_footprint(g, lo, hi, offset=None) -> np.ndarray:
@@ -114,25 +147,52 @@ def parallelepiped_lattice_points(q) -> int:
     """Number of integer points on or inside the parallelepiped ``S(Q)``.
 
     ``Q`` is ``(m, n)`` with rows the edge vectors (Definition 7).  Uses
-    Pick's theorem for ``2×2`` inputs and exact rational half-space
-    enumeration otherwise (bounding box + membership test with
-    ``fractions``-free numpy rational arithmetic via cross-multiplied
-    inequalities).
+    Pick's theorem for ``2×2`` inputs; the general case streams the
+    bounding box in bounded-memory chunks through an exact-integer
+    membership test (:class:`_ExactMembership`).  With
+    ``REPRO_SCALAR_KERNELS=1`` the original scalar/float oracle runs
+    instead (:func:`parallelepiped_lattice_points_scalar`).
+    """
+    if scalar_kernels_enabled():
+        return parallelepiped_lattice_points_scalar(q)
+    q = as_int_matrix(q, name="Q")
+    m, n = q.shape
+    if m == 2 and n == 2:
+        return _pick_parallelogram(q)
+    corners = _corner_points(q)
+    lo = corners.min(axis=0)
+    hi = corners.max(axis=0)
+    if box_volume(lo, hi) > PARALLELEPIPED_ENUM_CAP:
+        raise ValueError("parallelepiped too large for exact enumeration")
+    if int_rank(q) < m:
+        raise ValueError("S(Q) membership requires independent rows of Q")
+    member = _ExactMembership(q, lo, hi)
+    total = member.count_grid(lo, hi)
+    if total is not None:
+        return total
+    total = 0
+    for pts in iter_box_chunks(lo, hi, _MEMBERSHIP_CHUNK):
+        total += member.count(pts)
+    return total
+
+
+def parallelepiped_lattice_points_scalar(q) -> int:
+    """Scalar oracle for :func:`parallelepiped_lattice_points`.
+
+    The original implementation: materialise the whole bounding box
+    (capped at 5M points), solve for membership coefficients with float
+    least squares, and re-verify borderline points exactly with
+    ``fractions``.  Kept as the differential reference for the chunked
+    exact-integer path.
     """
     q = as_int_matrix(q, name="Q")
     m, n = q.shape
     if m == 2 and n == 2:
         return _pick_parallelogram(q)
-    # General: enumerate bounding box, keep x with x = sum a_i q_i,
-    # 0 <= a_i <= 1.  Solve for a via least squares in exact rationals is
-    # expensive; instead test membership with scipy-free linear programming
-    # over the vertices is also heavy.  We use the direct approach: S(Q) is
-    # the image of the unit cube; for full-row-rank Q, invert on the row
-    # space.  Fall back to vertex-hull rasterisation via inequalities.
-    corners = _corner_points(q)
+    corners = _corner_points_scalar(q)
     lo = corners.min(axis=0)
     hi = corners.max(axis=0)
-    if box_volume(lo, hi) > 5_000_000:
+    if box_volume(lo, hi) > _PARALLELEPIPED_SCALAR_CAP:
         raise ValueError("parallelepiped too large for exact enumeration")
     pts = box_points_array(lo, hi)
     mask = _in_parallelepiped_mask(q, pts)
@@ -140,7 +200,18 @@ def parallelepiped_lattice_points(q) -> int:
 
 
 def _corner_points(q: np.ndarray) -> np.ndarray:
-    """The 2^m corner points ``sum_{i in S} q_i`` of ``S(Q)``."""
+    """The 2^m corner points ``sum_{i in S} q_i`` of ``S(Q)`` (vectorized).
+
+    Corner ``k`` is the subset-sum selected by the bits of ``k`` — one
+    ``(2^m, m) @ (m, n)`` integer product instead of a Python double loop.
+    """
+    m = q.shape[0]
+    bits = (np.arange(1 << m, dtype=np.int64)[:, None] >> np.arange(m)[None, :]) & 1
+    return bits @ q
+
+
+def _corner_points_scalar(q: np.ndarray) -> np.ndarray:
+    """Scalar oracle for :func:`_corner_points` (original double loop)."""
     m = q.shape[0]
     n = q.shape[1]
     corners = np.zeros((1 << m, n), dtype=np.int64)
@@ -151,6 +222,105 @@ def _corner_points(q: np.ndarray) -> np.ndarray:
                 s = s + q[i]
         corners[mask] = s
     return corners
+
+
+class _ExactMembership:
+    """Chunked exact membership test ``x ∈ S(Q)`` for independent-row ``Q``.
+
+    ``x ∈ S(Q)`` iff its (unique) coefficient vector ``c`` with
+    ``c·Q = x`` satisfies ``0 ≤ c_i ≤ 1``.  Pick ``m`` independent
+    columns of ``Q`` forming the invertible ``B = Q[:, cols]``; then
+    ``c = x[cols]·B⁻¹ = x[cols]·adj(B)/det(B)``, so with
+    ``s = x[cols]·adj(B)`` (all integers) membership is
+
+    * bounds: ``0 ≤ s_i ≤ det`` (sign-flipped for negative ``det``), and
+    * row-space: ``s·Q = det·x`` on *all* columns.
+
+    No floats anywhere, so no border slop to re-verify — this replaces
+    the float-lstsq + per-point ``Fraction`` recheck of the scalar
+    oracle.  int64 arithmetic is used when a conservative magnitude bound
+    proves it cannot overflow; otherwise the float + exact-border scalar
+    mask runs per chunk (still bounded memory).
+    """
+
+    def __init__(self, q: np.ndarray, lo: np.ndarray, hi: np.ndarray):
+        from .unimodular import maximal_independent_columns
+
+        self.q = q
+        m, n = q.shape
+        self.cols = list(maximal_independent_columns(q))
+        b = q[:, self.cols]
+        self.det = int_det(b)
+        adj = int_adjugate(b)  # object dtype: exact Python ints
+        # Square Q: every x is in the row space, so s·Q = det·x holds
+        # identically and the bounds check alone decides membership.
+        self.need_recon = m < n
+        max_pt = max(
+            (max(abs(int(a)), abs(int(b_))) for a, b_ in zip(lo, hi)), default=0
+        )
+        max_adj = max((abs(int(x)) for x in adj.ravel()), default=0)
+        max_q = int(np.abs(q).max()) if q.size else 0
+        bound_scaled = m * max_pt * max_adj
+        bound_recon = max(m * bound_scaled * max_q, abs(self.det) * max_pt)
+        self.safe = max(bound_scaled, bound_recon) < 2**62
+        self.adj64 = adj.astype(np.int64) if self.safe else None
+
+    #: Bound on the per-slab working-set rows of :meth:`count_grid`.
+    _SLAB_LIMIT = 2_000_000
+
+    def count_grid(self, lo: np.ndarray, hi: np.ndarray) -> int | None:
+        """Separable whole-box count for square ``Q``; None when inapplicable.
+
+        With ``m == n`` the coefficient map is linear in each coordinate,
+        so the scaled coefficients over the grid are a sum of per-axis
+        contribution vectors — the box is swept one slab (of the longest
+        axis) at a time with broadcast adds, never materialising point
+        coordinates.  Falls back (``None``) for ``m < n`` (row-space
+        check needs the full coordinates), unsafe int64 bounds, or
+        degenerate slab shapes.
+        """
+        n = self.q.shape[1]
+        if not self.safe or self.need_recon or n == 0:
+            return None
+        dims = [int(h - l + 1) for l, h in zip(lo, hi)]
+        slab_axis = int(np.argmax(dims))
+        rest_rows = 1
+        for a, d in enumerate(dims):
+            if a != slab_axis:
+                rest_rows *= d
+        if rest_rows > self._SLAB_LIMIT:
+            return None
+        # contrib[a][i] = (lo_a + i) · (adj row of axis a), shape (D_a, m).
+        contrib = [None] * n
+        for j, a in enumerate(self.cols):
+            vals = np.int64(lo[a]) + np.arange(dims[a], dtype=np.int64)
+            contrib[a] = vals[:, None] * self.adj64[j][None, :]
+        rest = np.zeros((1, n), dtype=np.int64)
+        for a in range(n):
+            if a != slab_axis:
+                rest = (rest[:, None, :] + contrib[a][None, :, :]).reshape(-1, n)
+        lo_b, hi_b = (0, self.det) if self.det > 0 else (self.det, 0)
+        total = 0
+        for v in contrib[slab_axis]:
+            s = rest + v
+            total += int(np.all((s >= lo_b) & (s <= hi_b), axis=1).sum())
+        return total
+
+    def count(self, pts: np.ndarray) -> int:
+        if not self.safe:
+            return int(_in_parallelepiped_mask(self.q, pts).sum())
+        scaled = pts[:, self.cols] @ self.adj64
+        det = self.det
+        if det > 0:
+            cand = np.all((scaled >= 0) & (scaled <= det), axis=1)
+        else:
+            cand = np.all((scaled <= 0) & (scaled >= det), axis=1)
+        if not self.need_recon:
+            return int(cand.sum())
+        if not cand.any():
+            return 0
+        recon = scaled[cand] @ self.q
+        return int(np.all(recon == det * pts[cand], axis=1).sum())
 
 
 def _in_parallelepiped_mask(q: np.ndarray, pts: np.ndarray) -> np.ndarray:
@@ -213,20 +383,38 @@ def parallelogram_boundary_points(q) -> int:
     return 2 * (vector_gcd(q[0]) + vector_gcd(q[1]))
 
 
+def _union_axes(offsets: np.ndarray, extents: np.ndarray):
+    """Coordinate compression: per-axis cell starts and widths."""
+    starts = []
+    widths = []
+    for k in range(offsets.shape[1]):
+        cuts = np.unique(
+            np.concatenate([offsets[:, k], offsets[:, k] + extents[k] + 1])
+        )
+        starts.append(cuts[:-1])
+        widths.append(np.diff(cuts))
+    return starts, widths
+
+
 def union_of_boxes_size(offsets, extents) -> int:
     """Exact number of integer points in ``∪_r [offset_r, offset_r + extents]``.
 
     All boxes share the same (inclusive) ``extents``; ``offsets`` is an
     ``(R, l)`` integer array.  Computed by coordinate compression: the
-    union is decomposed into the grid cells induced by all box edges, and
-    each cell is tested against every box (R and l are tiny in practice —
-    references per class and loop depth).
+    union is decomposed into the grid cells induced by all box edges, a
+    boolean coverage mask over the cell grid is built as the OR over boxes
+    of per-axis interval-mask outer products, and the covered cells'
+    exact volumes (Python-int arithmetic, overflow-free) are summed.
+    With ``REPRO_SCALAR_KERNELS=1`` the original per-cell Python loop
+    (:func:`union_of_boxes_size_scalar`) runs instead.
 
     This yields the *exact* cumulative footprint of a rectangular tile for
     a uniformly intersecting class once offsets are expressed in lattice
     coordinates ``u_r = a_r · G⁻¹`` (cf. Theorem 4, which approximates the
     same quantity from the spread vector alone).
     """
+    if scalar_kernels_enabled():
+        return union_of_boxes_size_scalar(offsets, extents)
     offsets = as_int_matrix(np.atleast_2d(offsets), name="offsets")
     extents = as_int_vector(extents, name="extents")
     r, l = offsets.shape
@@ -236,21 +424,40 @@ def union_of_boxes_size(offsets, extents) -> int:
         return 0
     if r == 1:
         return int(np.prod((extents + 1).astype(object)))
-    # Coordinate compression along each axis: breakpoints at box starts and
-    # one-past-ends.
-    axes: list[np.ndarray] = []
-    for k in range(l):
-        cuts = np.unique(
-            np.concatenate([offsets[:, k], offsets[:, k] + extents[k] + 1])
-        )
-        axes.append(cuts)
-    total = 0
-    # Iterate over grid cells [cuts[i], cuts[i+1]) per axis.
-    import itertools
+    starts, widths = _union_axes(offsets, extents)
+    # Per-axis interval masks: cover[k][i, j] ⇔ box i covers cell j on axis k.
+    cover = [
+        (offsets[:, k, None] <= starts[k][None, :])
+        & (starts[k][None, :] <= offsets[:, k, None] + extents[k])
+        for k in range(l)
+    ]
+    covered = np.zeros(tuple(len(s) for s in starts), dtype=bool)
+    for i in range(r):
+        m = cover[0][i]
+        for k in range(1, l):
+            m = m[..., None] & cover[k][i]
+        covered |= m
+    # Exact cell volumes via Python-int outer products (no int64 overflow).
+    vols = widths[0].astype(object)
+    for k in range(1, l):
+        vols = np.multiply.outer(vols, widths[k].astype(object))
+    return int((covered * vols).sum())
 
-    cell_ranges = [range(len(ax) - 1) for ax in axes]
-    starts = [ax[:-1] for ax in axes]
-    widths = [np.diff(ax) for ax in axes]
+
+def union_of_boxes_size_scalar(offsets, extents) -> int:
+    """Scalar oracle for :func:`union_of_boxes_size` (per-cell loop)."""
+    offsets = as_int_matrix(np.atleast_2d(offsets), name="offsets")
+    extents = as_int_vector(extents, name="extents")
+    r, l = offsets.shape
+    if extents.shape[0] != l:
+        raise ValueError("extents length must match offset dimension")
+    if np.any(extents < 0):
+        return 0
+    if r == 1:
+        return int(np.prod((extents + 1).astype(object)))
+    starts, widths = _union_axes(offsets, extents)
+    total = 0
+    cell_ranges = [range(len(s)) for s in starts]
     for cell in itertools.product(*cell_ranges):
         point = np.array([starts[k][cell[k]] for k in range(l)], dtype=np.int64)
         covered = np.any(
@@ -315,6 +522,26 @@ def distinct_values_1d(coeffs, lo, hi) -> int:
     return int(np.unique(vals).size)
 
 
+class _CacheMetrics:
+    """Registry-backed mirrors of one named cache's hit/miss/load counts.
+
+    The cache instances keep plain-int fields (cheap, per-instance,
+    exactly the pre-existing semantics tests rely on); a named cache
+    additionally mirrors every event into the process metrics registry so
+    run reports and ``repro.obs`` consumers can see it.
+    """
+
+    __slots__ = ("hits", "misses", "loads")
+
+    def __init__(self, name: str):
+        from ..obs.metrics import get_registry
+
+        reg = get_registry()
+        self.hits = reg.counter("analytic.cache.hits", cache=name)
+        self.misses = reg.counter("analytic.cache.misses", cache=name)
+        self.loads = reg.counter("analytic.cache.loads", cache=name)
+
+
 class FootprintTable:
     """Section 3.8's "table lookup" for exact 1-D footprints.
 
@@ -330,25 +557,28 @@ class FootprintTable:
     ``(|c_k|, extent_k)`` pairs with the gcd of the coefficients divided
     out (scaling by the gcd relabels values bijectively; sign flips and
     reorderings are coordinate changes of the box).
+
+    ``metrics_name`` mirrors hit/miss/load counts into the process
+    metrics registry (used by the shared default instance); entries can
+    be persisted across runs via :mod:`repro.lattice.persist`.
     """
 
-    def __init__(self):
+    def __init__(self, *, metrics_name: str | None = None):
         self._table: dict = {}
         self.hits = 0
         self.misses = 0
+        self.loads = 0
+        self._metrics = _CacheMetrics(metrics_name) if metrics_name else None
 
     @staticmethod
     def canonical_key(coeffs, extents) -> tuple:
+        # (coeff, extent=0) axes contribute a single value, zero
+        # coefficients none: drop both.
         pairs = [
             (abs(int(c)), int(e))
             for c, e in zip(coeffs, extents)
             if c != 0 and e > 0
         ]
-        zero_extent_nonzero_coeff = any(
-            c != 0 and e == 0 for c, e in zip(coeffs, extents)
-        )
-        # (coeff, extent=0) axes contribute a single value: drop them.
-        del zero_extent_nonzero_coeff
         if not pairs:
             return ()
         g = 0
@@ -364,8 +594,12 @@ class FootprintTable:
         cached = self._table.get(key)
         if cached is not None:
             self.hits += 1
+            if self._metrics:
+                self._metrics.hits.inc()
             return cached
         self.misses += 1
+        if self._metrics:
+            self._metrics.misses.inc()
         if not key:
             value = 1
         else:
@@ -375,12 +609,30 @@ class FootprintTable:
         self._table[key] = value
         return value
 
+    # -- persistence hooks (see repro.lattice.persist) -------------------
+    def export_entries(self) -> list:
+        """``(key, value)`` pairs in a stable order."""
+        return sorted(self._table.items(), key=repr)
+
+    def absorb_entries(self, entries) -> int:
+        """Merge persisted entries; returns how many keys were new."""
+        added = 0
+        for key, value in entries:
+            if key not in self._table:
+                self._table[key] = value
+                added += 1
+        if added:
+            self.loads += added
+            if self._metrics:
+                self._metrics.loads.inc(added)
+        return added
+
     def __len__(self) -> int:
         return len(self._table)
 
 
 #: Shared default table used by :func:`repro.core.footprint.footprint_size`.
-DEFAULT_FOOTPRINT_TABLE = FootprintTable()
+DEFAULT_FOOTPRINT_TABLE = FootprintTable(metrics_name="footprint_table")
 
 
 class LatticeCountCache:
@@ -408,12 +660,28 @@ class LatticeCountCache:
 
     On a miss the count is recomputed *from the canonical form itself*,
     so a key collision can only map to the correct value.
+
+    ``metrics_name`` mirrors hit/miss/load counts into the process
+    metrics registry (used by the shared default instance); entries can
+    be persisted across runs via :mod:`repro.lattice.persist`.
     """
 
-    def __init__(self):
+    def __init__(self, *, metrics_name: str | None = None):
         self._table: dict = {}
         self.hits = 0
         self.misses = 0
+        self.loads = 0
+        self._metrics = _CacheMetrics(metrics_name) if metrics_name else None
+
+    def _hit(self) -> None:
+        self.hits += 1
+        if self._metrics:
+            self._metrics.hits.inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if self._metrics:
+            self._metrics.misses.inc()
 
     # -- canonicalisation ------------------------------------------------
     @staticmethod
@@ -451,9 +719,9 @@ class LatticeCountCache:
         key = ("img", self._canonical_rows(g, extents))
         cached = self._table.get(key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         pairs = key[1]
         if pairs == ("empty",):
             value = 0
@@ -471,9 +739,9 @@ class LatticeCountCache:
         key = ("ppd", self._canonical_rows(q))
         cached = self._table.get(key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         rows = key[1]
         if not rows:
             value = 1
@@ -494,12 +762,30 @@ class LatticeCountCache:
         """
         cached = self._table.get(key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         value = fn()
         self._table[key] = value
         return value
+
+    # -- persistence hooks (see repro.lattice.persist) -------------------
+    def export_entries(self) -> list:
+        """``(key, value)`` pairs in a stable order."""
+        return sorted(self._table.items(), key=repr)
+
+    def absorb_entries(self, entries) -> int:
+        """Merge persisted entries; returns how many keys were new."""
+        added = 0
+        for key, value in entries:
+            if key not in self._table:
+                self._table[key] = value
+                added += 1
+        if added:
+            self.loads += added
+            if self._metrics:
+                self._metrics.loads.inc(added)
+        return added
 
     def __len__(self) -> int:
         return len(self._table)
@@ -508,9 +794,32 @@ class LatticeCountCache:
         self._table.clear()
         self.hits = 0
         self.misses = 0
+        self.loads = 0
 
 
 #: Process-wide cache shared by the footprint call sites
 #: (:mod:`repro.core.footprint`); optimiser calls create private instances
 #: by default so their enumeration counts are reproducible per call.
-DEFAULT_LATTICE_CACHE = LatticeCountCache()
+DEFAULT_LATTICE_CACHE = LatticeCountCache(metrics_name="lattice")
+
+
+def analytic_cache_stats() -> dict:
+    """Hit/miss/load/entry counts of the process-default analytic caches.
+
+    The dict is JSON-ready and lands in run reports (``caches`` section)
+    and check reports, making the previously invisible bare-int counters
+    observable.
+    """
+
+    def one(cache) -> dict:
+        return {
+            "entries": len(cache),
+            "hits": int(cache.hits),
+            "misses": int(cache.misses),
+            "loads": int(cache.loads),
+        }
+
+    return {
+        "footprint_table": one(DEFAULT_FOOTPRINT_TABLE),
+        "lattice_cache": one(DEFAULT_LATTICE_CACHE),
+    }

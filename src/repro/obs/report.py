@@ -227,6 +227,7 @@ def build_report(
     program: dict | None = None,
     spans: list[dict] | None = None,
     metrics: list[dict] | None = None,
+    caches: dict | None = None,
     meta: dict | None = None,
 ) -> dict:
     """Assemble a schema-versioned report from pipeline artifacts.
@@ -234,7 +235,10 @@ def build_report(
     ``partition`` is a ``PartitionResult`` (its estimate is used when
     ``estimate`` is not given); ``sim`` a ``SimulationResult``; ``spans``
     defaults to the process tracer's completed spans; ``metrics`` defaults
-    to the simulated machine's registry snapshot.
+    to the simulated machine's registry snapshot.  ``caches`` is an
+    optional hit/miss/load snapshot of the analytic caches
+    (:func:`repro.lattice.analytic_cache_stats` — passed in by the caller
+    to keep this module stdlib-only).
     """
     try:
         from .. import __version__ as _version
@@ -268,6 +272,8 @@ def build_report(
         report["prediction_error"] = prediction_error_section(
             estimate, sim, processors
         )
+    if caches is not None:
+        report["caches"] = dict(caches)
     if meta:
         report["meta"] = dict(meta)
     return validate_report(report)
@@ -309,6 +315,7 @@ def build_check_report(
     config: dict | None = None,
     fault: str | None = None,
     duration_s: float | None = None,
+    caches: dict | None = None,
     meta: dict | None = None,
 ) -> dict:
     """Assemble a ``repro.check-report`` from a differential-check run.
@@ -342,6 +349,11 @@ def build_check_report(
         report["injected_fault"] = fault
     if duration_s is not None:
         report["duration_s"] = float(duration_s)
+    if caches is not None:
+        # Note: the check harness deliberately does NOT pass this — cache
+        # populations differ across worker counts, and check reports must
+        # be byte-stable for a fixed seed regardless of --workers.
+        report["caches"] = dict(caches)
     if meta:
         report["meta"] = dict(meta)
     return validate_check_report(report)

@@ -1,0 +1,91 @@
+"""Determinism of the differential self-check under process fan-out.
+
+``repro check`` must produce a byte-identical report (failure set,
+tallies, corpus of shrunk counterexamples) for a fixed seed regardless
+of ``--workers`` — the worker partitioning is a pure scheduling choice.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.harness import check_main, run_check
+
+
+def _strip_duration(report: dict) -> dict:
+    out = dict(report)
+    out.pop("duration_s", None)
+    return out
+
+
+class TestWorkerDeterminism:
+    def test_50_cases_workers_1_vs_4(self):
+        r1 = run_check(cases=50, seed=0)
+        r4 = run_check(cases=50, seed=0, workers=4)
+        assert json.dumps(_strip_duration(r1), sort_keys=True) == (
+            json.dumps(_strip_duration(r4), sort_keys=True)
+        )
+
+    def test_corpus_and_generated_merge_order(self, tmp_path):
+        # Corpus replay rides ahead of generated cases in both modes.
+        corpus = tmp_path / "corpus.json"
+        from repro.check.corpus import save_corpus, spec_to_dict
+        from repro.check.generator import generate_case
+
+        save_corpus(
+            corpus,
+            [
+                {"spec": spec_to_dict(generate_case(3, seed=11)), "note": "a"},
+                {"spec": spec_to_dict(generate_case(7, seed=11)), "note": "b"},
+            ],
+        )
+        r1 = run_check(cases=6, seed=5, corpus_path=corpus)
+        r3 = run_check(cases=6, seed=5, corpus_path=corpus, workers=3)
+        assert _strip_duration(r1) == _strip_duration(r3)
+        assert r1["cases"] == 8  # 2 corpus + 6 generated
+
+    def test_injected_fault_detected_with_workers(self):
+        r = run_check(cases=8, seed=0, fault="exact-count", workers=2)
+        assert r["failures"], "fault injection must surface failures"
+        serial = run_check(cases=8, seed=0, fault="exact-count")
+        assert _strip_duration(serial) == _strip_duration(r)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            run_check(cases=2, seed=0, workers=0)
+
+
+class TestCheckCli:
+    def test_workers_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            check_main(["--cases", "2", "--workers", "0"])
+        assert exc.value.code == 2
+
+    def test_cli_workers_smoke(self, tmp_path, capsys):
+        rc = check_main(
+            ["--cases", "4", "--seed", "0", "--workers", "2",
+             "--json-report", str(tmp_path / "r.json")]
+        )
+        assert rc == 0
+        report = json.loads((tmp_path / "r.json").read_text())
+        assert report["cases"] == 4
+        assert "workers" not in report  # scheduling must not leak into the report
+
+    def test_cli_cache_dir_persists(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        rc = check_main(
+            ["--cases", "4", "--seed", "0", "--cache-dir", str(cache_dir)]
+        )
+        assert rc == 0
+        assert (cache_dir / "analytic_cache.json").exists()
+
+    def test_cli_faulted_run_never_persists(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        check_main(
+            ["--cases", "4", "--seed", "0", "--cache-dir", str(cache_dir),
+             "--inject-fault", "exact-count"]
+        )
+        # A faulted run must not poison the warm-start file.
+        assert not (cache_dir / "analytic_cache.json").exists()
