@@ -268,6 +268,15 @@ def _run_task_batch(
     """
     from ..lattice.points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
 
+    if os.environ.get("REPRO_CHECK_KILL_WORKER"):
+        import multiprocessing
+
+        # Test hook: die abruptly (as a segfault or OOM kill would), but
+        # only in a pool child — the driver process must survive to
+        # report the failure.
+        if multiprocessing.parent_process() is not None:
+            os._exit(3)
+
     out = []
     with inject_fault(fault):
         for origin, payload in tasks:
@@ -330,6 +339,7 @@ def run_check(
         results, _, _ = _run_task_batch(tasks, seed, config, fault)
     else:
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         from ..lattice.points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
 
@@ -346,7 +356,15 @@ def run_check(
                 for batch in batches
             ]
             for future in futures:
-                batch_results, lattice_entries, table_entries = future.result()
+                try:
+                    batch_results, lattice_entries, table_entries = future.result()
+                except BrokenProcessPool as exc:
+                    raise ReproError(
+                        f"a check worker process died mid-batch (killed or "
+                        f"crashed) with {len(results)} of {len(tasks)} cases "
+                        f"done; re-run with --workers 1 to isolate the "
+                        f"failing case"
+                    ) from exc
                 results.extend(batch_results)
                 if fault is None:
                     # Keep what the children computed (for --cache-dir
@@ -425,14 +443,18 @@ def check_main(argv: list[str] | None = None, *, out=None) -> int:
     config = CheckConfig(
         max_accesses=args.max_accesses, shrink_budget=args.shrink_budget
     )
-    report = run_check(
-        cases=args.cases,
-        seed=args.seed,
-        corpus_path=args.corpus,
-        config=config,
-        fault=args.inject_fault,
-        workers=args.workers,
-    )
+    try:
+        report = run_check(
+            cases=args.cases,
+            seed=args.seed,
+            corpus_path=args.corpus,
+            config=config,
+            fault=args.inject_fault,
+            workers=args.workers,
+        )
+    except ReproError as e:
+        print(f"repro check: error: {e}", file=out)
+        return 1
     if cache_dir and args.inject_fault is None:
         # A faulted run computes deliberately wrong values; never let them
         # reach the persistent warm-start cache.

@@ -24,7 +24,9 @@ traffic, per-processor miss breakdown, prediction-error ratios);
 table; ``--log-level`` enables structured diagnostics on stderr.
 
 ``python -m repro check --cases N --seed S [--corpus PATH]`` runs the
-differential self-check (:mod:`repro.check`) instead of the pipeline.
+differential self-check (:mod:`repro.check`) instead of the pipeline;
+``python -m repro serve`` starts the long-lived partition service and
+``python -m repro loadgen`` drives load against one (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -178,6 +180,14 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
         from .check.harness import check_main
 
         return check_main(argv[1:], out=out)
+    if argv and argv[0] == "serve":
+        from .serve.server import serve_main
+
+        return serve_main(argv[1:], out=out)
+    if argv and argv[0] == "loadgen":
+        from .serve.loadgen import loadgen_main
+
+        return loadgen_main(argv[1:], out=out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.trace_sample < 1:
@@ -215,6 +225,9 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
     try:
         with span("lang.parse"):
             program = parse_program(source)
+        if not program.nests:
+            emit(f"error: no loop nests found in {args.source!r}")
+            return 1
         if len(program.nests) != 1:
             emit(f"note: {len(program.nests)} nests found; partitioning the first")
         node = program.nests[0]

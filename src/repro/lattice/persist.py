@@ -27,6 +27,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from .points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
@@ -47,6 +48,76 @@ logger = logging.getLogger("repro.lattice.persist")
 CACHE_SCHEMA = "repro.analytic-cache"
 CACHE_VERSION = 1
 CACHE_FILENAME = "analytic_cache.json"
+LOCK_FILENAME = CACHE_FILENAME + ".lock"
+
+#: How long :func:`save_caches` waits for a concurrent writer before
+#: giving up, and the age past which an orphaned lockfile (a writer that
+#: died between creating and removing it) is broken.
+LOCK_TIMEOUT_S = 10.0
+LOCK_STALE_S = 30.0
+
+
+class _CacheLock:
+    """O_EXCL lockfile serialising the read-merge-write in save_caches.
+
+    ``os.replace`` makes each write atomic, but two concurrent writers
+    both read the same on-disk snapshot, merge their own entries, and
+    the last replace drops the first writer's keys.  Creating
+    ``analytic_cache.json.lock`` with O_CREAT|O_EXCL is itself atomic on
+    every platform and filesystem we care about, so holding it makes the
+    whole read-merge-write critical.  Locks older than LOCK_STALE_S are
+    broken (the holder died); waiting longer than the timeout raises.
+    """
+
+    def __init__(self, directory: Path, *, timeout_s: float | None = None):
+        self.path = directory / LOCK_FILENAME
+        # Resolved at construction so tests can shrink the module default.
+        self.timeout_s = LOCK_TIMEOUT_S if timeout_s is None else timeout_s
+        self._held = False
+
+    def __enter__(self):
+        deadline = time.monotonic() + self.timeout_s
+        delay = 0.01
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"analytic-cache lock {self.path} held by another "
+                        f"writer for over {self.timeout_s:.0f}s"
+                    ) from None
+                time.sleep(delay)
+                delay = min(delay * 2, 0.2)
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(str(os.getpid()))
+            self._held = True
+            return self
+
+    def __exit__(self, *exc):
+        if self._held:
+            self._held = False
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        return False
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return  # holder released it between our open and stat
+        if age > LOCK_STALE_S:
+            logger.warning(
+                "breaking stale analytic-cache lock %s (age %.0fs)", self.path, age
+            )
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
 
 
 def default_cache_dir() -> Path:
@@ -149,37 +220,42 @@ def save_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> 
     """Persist the analytic caches into ``cache_dir`` (merge semantics).
 
     Entries already on disk are kept (union with the in-memory tables),
-    so concurrent runs only ever add keys.  The write is atomic
-    (temp file + ``os.replace``).  Returns the total number of entries
-    written.
+    so concurrent runs only ever add keys.  The whole read-merge-write
+    runs under an on-disk lockfile (:class:`_CacheLock`) so concurrent
+    writers serialise instead of overwriting each other's new keys, and
+    the write itself is atomic (temp file + ``os.replace``).  Returns
+    the total number of entries written.
     """
     directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / CACHE_FILENAME
-    on_disk = _read_entries(path) or {}
-    caches = _cache_map(footprint_table, lattice_cache)
-    payload: dict[str, list] = {}
-    written = 0
-    for name, cache in caches.items():
-        merged = {}
-        for key, value in on_disk.get(name, []):
-            merged[key] = value
-        for key, value in cache.export_entries():
-            merged[key] = value
-        payload[name] = sorted(
-            ([encode_key(k), v] for k, v in merged.items()), key=repr
+    with _CacheLock(directory):
+        on_disk = _read_entries(path) or {}
+        caches = _cache_map(footprint_table, lattice_cache)
+        payload: dict[str, list] = {}
+        written = 0
+        for name, cache in caches.items():
+            merged = {}
+            for key, value in on_disk.get(name, []):
+                merged[key] = value
+            for key, value in cache.export_entries():
+                merged[key] = value
+            payload[name] = sorted(
+                ([encode_key(k), v] for k, v in merged.items()), key=repr
+            )
+            written += len(merged)
+        doc = {"schema": CACHE_SCHEMA, "version": CACHE_VERSION, "caches": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".analytic_cache.", suffix=".tmp"
         )
-        written += len(merged)
-    doc = {"schema": CACHE_SCHEMA, "version": CACHE_VERSION, "caches": payload}
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".analytic_cache.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, separators=(",", ":"))
-        os.replace(tmp, path)
-    except BaseException:
         try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
     return written

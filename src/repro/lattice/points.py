@@ -37,6 +37,7 @@ from __future__ import annotations
 import itertools
 import math
 import os
+import threading
 from fractions import Fraction
 
 import numpy as np
@@ -561,6 +562,12 @@ class FootprintTable:
     ``metrics_name`` mirrors hit/miss/load counts into the process
     metrics registry (used by the shared default instance); entries can
     be persisted across runs via :mod:`repro.lattice.persist`.
+
+    Mutations are lock-protected so concurrent threads (the ``repro
+    serve`` process absorbs worker cache entries while handling
+    requests) cannot corrupt the table or lose counter updates; a miss
+    computes *outside* the lock, so at worst two threads redundantly
+    compute the same (identical) value.
     """
 
     def __init__(self, *, metrics_name: str | None = None):
@@ -569,6 +576,7 @@ class FootprintTable:
         self.misses = 0
         self.loads = 0
         self._metrics = _CacheMetrics(metrics_name) if metrics_name else None
+        self._lock = threading.Lock()
 
     @staticmethod
     def canonical_key(coeffs, extents) -> tuple:
@@ -591,40 +599,45 @@ class FootprintTable:
     def lookup(self, coeffs, extents) -> int:
         """Exact distinct-value count, memoised."""
         key = self.canonical_key(coeffs, extents)
-        cached = self._table.get(key)
-        if cached is not None:
-            self.hits += 1
+        with self._lock:
+            cached = self._table.get(key)
+            if cached is not None:
+                self.hits += 1
+                if self._metrics:
+                    self._metrics.hits.inc()
+                return cached
+            self.misses += 1
             if self._metrics:
-                self._metrics.hits.inc()
-            return cached
-        self.misses += 1
-        if self._metrics:
-            self._metrics.misses.inc()
+                self._metrics.misses.inc()
         if not key:
             value = 1
         else:
             cs = [c for c, _ in key]
             es = [e for _, e in key]
             value = distinct_values_1d(cs, [0] * len(cs), es)
-        self._table[key] = value
+        with self._lock:
+            self._table[key] = value
         return value
 
     # -- persistence hooks (see repro.lattice.persist) -------------------
     def export_entries(self) -> list:
         """``(key, value)`` pairs in a stable order."""
-        return sorted(self._table.items(), key=repr)
+        with self._lock:
+            items = list(self._table.items())
+        return sorted(items, key=repr)
 
     def absorb_entries(self, entries) -> int:
         """Merge persisted entries; returns how many keys were new."""
         added = 0
-        for key, value in entries:
-            if key not in self._table:
-                self._table[key] = value
-                added += 1
-        if added:
-            self.loads += added
-            if self._metrics:
-                self._metrics.loads.inc(added)
+        with self._lock:
+            for key, value in entries:
+                if key not in self._table:
+                    self._table[key] = value
+                    added += 1
+            if added:
+                self.loads += added
+        if added and self._metrics:
+            self._metrics.loads.inc(added)
         return added
 
     def __len__(self) -> int:
@@ -664,6 +677,11 @@ class LatticeCountCache:
     ``metrics_name`` mirrors hit/miss/load counts into the process
     metrics registry (used by the shared default instance); entries can
     be persisted across runs via :mod:`repro.lattice.persist`.
+
+    Mutations are lock-protected (same discipline as
+    :class:`FootprintTable`): lookup/count under the lock, enumeration on
+    a miss outside it — concurrent misses may redundantly compute the
+    same deterministic value, never a wrong one.
     """
 
     def __init__(self, *, metrics_name: str | None = None):
@@ -672,16 +690,26 @@ class LatticeCountCache:
         self.misses = 0
         self.loads = 0
         self._metrics = _CacheMetrics(metrics_name) if metrics_name else None
+        self._lock = threading.Lock()
 
-    def _hit(self) -> None:
-        self.hits += 1
-        if self._metrics:
-            self._metrics.hits.inc()
+    def _probe(self, key):
+        """Cached value (counting a hit) or ``None`` (counting a miss)."""
+        with self._lock:
+            cached = self._table.get(key)
+            if cached is not None:
+                self.hits += 1
+                if self._metrics:
+                    self._metrics.hits.inc()
+                return cached
+            self.misses += 1
+            if self._metrics:
+                self._metrics.misses.inc()
+            return None
 
-    def _miss(self) -> None:
-        self.misses += 1
-        if self._metrics:
-            self._metrics.misses.inc()
+    def _store(self, key, value):
+        with self._lock:
+            self._table[key] = value
+        return value
 
     # -- canonicalisation ------------------------------------------------
     @staticmethod
@@ -717,11 +745,9 @@ class LatticeCountCache:
     def count_distinct_images(self, g, extents) -> int:
         """Memoised :func:`count_distinct_images` over ``[0, extents]``."""
         key = ("img", self._canonical_rows(g, extents))
-        cached = self._table.get(key)
+        cached = self._probe(key)
         if cached is not None:
-            self._hit()
             return cached
-        self._miss()
         pairs = key[1]
         if pairs == ("empty",):
             value = 0
@@ -731,17 +757,14 @@ class LatticeCountCache:
             rows = np.array([list(r) for r, _ in pairs], dtype=np.int64)
             ext = np.array([e for _, e in pairs], dtype=np.int64)
             value = count_distinct_images(rows, np.zeros_like(ext), ext)
-        self._table[key] = value
-        return value
+        return self._store(key, value)
 
     def parallelepiped_lattice_points(self, q) -> int:
         """Memoised :func:`parallelepiped_lattice_points` of ``S(Q)``."""
         key = ("ppd", self._canonical_rows(q))
-        cached = self._table.get(key)
+        cached = self._probe(key)
         if cached is not None:
-            self._hit()
             return cached
-        self._miss()
         rows = key[1]
         if not rows:
             value = 1
@@ -749,8 +772,7 @@ class LatticeCountCache:
             value = parallelepiped_lattice_points(
                 np.array([list(r) for r, _ in rows], dtype=np.int64)
             )
-        self._table[key] = value
-        return value
+        return self._store(key, value)
 
     def get_or_compute(self, key, fn):
         """Generic memoisation under a caller-supplied hashable key.
@@ -760,41 +782,41 @@ class LatticeCountCache:
         cumulative-footprint evaluations whose invariances (class ``G``,
         translated offsets, tile sides) the caller canonicalises itself.
         """
-        cached = self._table.get(key)
+        cached = self._probe(key)
         if cached is not None:
-            self._hit()
             return cached
-        self._miss()
-        value = fn()
-        self._table[key] = value
-        return value
+        return self._store(key, fn())
 
     # -- persistence hooks (see repro.lattice.persist) -------------------
     def export_entries(self) -> list:
         """``(key, value)`` pairs in a stable order."""
-        return sorted(self._table.items(), key=repr)
+        with self._lock:
+            items = list(self._table.items())
+        return sorted(items, key=repr)
 
     def absorb_entries(self, entries) -> int:
         """Merge persisted entries; returns how many keys were new."""
         added = 0
-        for key, value in entries:
-            if key not in self._table:
-                self._table[key] = value
-                added += 1
-        if added:
-            self.loads += added
-            if self._metrics:
-                self._metrics.loads.inc(added)
+        with self._lock:
+            for key, value in entries:
+                if key not in self._table:
+                    self._table[key] = value
+                    added += 1
+            if added:
+                self.loads += added
+        if added and self._metrics:
+            self._metrics.loads.inc(added)
         return added
 
     def __len__(self) -> int:
         return len(self._table)
 
     def clear(self) -> None:
-        self._table.clear()
-        self.hits = 0
-        self.misses = 0
-        self.loads = 0
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0
+            self.loads = 0
 
 
 #: Process-wide cache shared by the footprint call sites

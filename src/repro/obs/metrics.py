@@ -16,13 +16,27 @@ Scoping: each :class:`~repro.sim.machine.Machine` owns a private registry
 (``machine.metrics``) so concurrent simulations in one process never mix
 counts; :func:`get_registry` returns the process-local default registry
 used for pipeline-level metrics.
+
+Thread safety: instrument *mutations* (``inc``, ``+=``, ``observe``,
+``set``, ``reset``) and registry operations (get-or-create, snapshot)
+are serialised under one module lock, so concurrent requests in the
+``repro serve`` process cannot lose updates — a bare ``self._value += n``
+is a read-modify-write that the interpreter may interleave between
+threads.  A single shared lock keeps per-instrument memory at zero and
+cannot deadlock (no instrument calls another while holding it); reads of
+a single value stay lock-free, which is safe because an ``int`` load is
+atomic and these are monitoring quantities.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+
+#: One lock for every instrument and registry in the process (see module doc).
+_LOCK = threading.Lock()
 
 
 def _as_number(other):
@@ -51,10 +65,12 @@ class Counter:
         return self._value
 
     def inc(self, n: int = 1) -> None:
-        self._value += n
+        with _LOCK:
+            self._value += n
 
     def reset(self) -> None:
-        self._value = 0
+        with _LOCK:
+            self._value = 0
 
     # -- int protocol (keeps stats-dataclass callers unchanged) ----------
     def __int__(self) -> int:
@@ -112,11 +128,13 @@ class Counter:
         return -self._value
 
     def __iadd__(self, n):
-        self._value += _as_number(n)
+        with _LOCK:
+            self._value += _as_number(n)
         return self
 
     def __isub__(self, n):
-        self._value -= _as_number(n)
+        with _LOCK:
+            self._value -= _as_number(n)
         return self
 
     __hash__ = object.__hash__  # identity: counters are mutable
@@ -143,10 +161,12 @@ class Gauge:
         self.value = initial
 
     def set(self, value) -> None:
-        self.value = value
+        with _LOCK:
+            self.value = value
 
     def reset(self) -> None:
-        self.value = 0
+        with _LOCK:
+            self.value = 0
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value})"
@@ -171,9 +191,10 @@ class Histogram:
 
     def observe(self, value) -> None:
         v = int(value)
-        self.bins[v] = self.bins.get(v, 0) + 1
-        self.count += 1
-        self.total += v
+        with _LOCK:
+            self.bins[v] = self.bins.get(v, 0) + 1
+            self.count += 1
+            self.total += v
 
     def observe_bulk(self, value, n: int) -> None:
         """Record ``n`` observations of the same ``value`` at once.
@@ -185,25 +206,30 @@ class Histogram:
         if n <= 0:
             return
         v = int(value)
-        self.bins[v] = self.bins.get(v, 0) + n
-        self.count += n
-        self.total += v * n
+        with _LOCK:
+            self.bins[v] = self.bins.get(v, 0) + n
+            self.count += n
+            self.total += v * n
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.bins.clear()
-        self.count = 0
-        self.total = 0
+        with _LOCK:
+            self.bins.clear()
+            self.count = 0
+            self.total = 0
 
     def to_dict(self) -> dict:
+        with _LOCK:  # a consistent (count, sum, bins) triple
+            count, total = self.count, self.total
+            bins = dict(self.bins)
         return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "bins": {str(k): v for k, v in sorted(self.bins.items())},
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else 0.0,
+            "bins": {str(k): v for k, v in sorted(bins.items())},
         }
 
     def __repr__(self) -> str:
@@ -219,11 +245,12 @@ class MetricsRegistry:
 
     def _get(self, cls, name: str, labels: dict):
         key = (name, tuple(sorted(labels.items())))
-        m = self._metrics.get(key)
-        if m is None:
-            m = cls(name, key[1])
-            self._metrics[key] = m
-        elif not isinstance(m, cls):
+        with _LOCK:
+            m = self._metrics.get(key)
+            if m is None:
+                m = cls(name, key[1])
+                self._metrics[key] = m
+        if not isinstance(m, cls):
             raise TypeError(
                 f"metric {name!r}{labels or ''} already registered as "
                 f"{type(m).__name__}, requested {cls.__name__}"
@@ -239,8 +266,13 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get(Histogram, name, labels)
 
+    def _items(self) -> list:
+        """A consistent point-in-time copy of the instrument map."""
+        with _LOCK:
+            return list(self._metrics.items())
+
     def __iter__(self) -> Iterator:
-        return iter(self._metrics.values())
+        return iter(m for _, m in self._items())
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -249,14 +281,14 @@ class MetricsRegistry:
         """Sum of a counter across every label combination."""
         return sum(
             m.value
-            for m in self._metrics.values()
+            for _, m in self._items()
             if isinstance(m, Counter) and m.name == name
         )
 
     def by_label(self, name: str, label: str) -> dict:
         """``label value → counter value`` for one counter name."""
         out: dict = {}
-        for m in self._metrics.values():
+        for _, m in self._items():
             if isinstance(m, Counter) and m.name == name:
                 lbl = dict(m.labels).get(label)
                 if lbl is not None:
@@ -264,14 +296,14 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        for m in self._metrics.values():
+        for _, m in self._items():
             m.reset()
 
     def snapshot(self) -> list[dict]:
         """JSON-ready dump of every instrument (stable order)."""
         out = []
         for (name, labels), m in sorted(
-            self._metrics.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+            self._items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
         ):
             entry: dict = {"name": name}
             if labels:

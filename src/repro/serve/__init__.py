@@ -1,0 +1,32 @@
+"""Partition-as-a-service (``repro serve``).
+
+A long-lived asyncio JSON-over-HTTP service around the partitioning
+pipeline, so many queries amortise one warm process: request validation
+with typed errors (:mod:`~repro.serve.protocol`), canonical-key request
+coalescing and a completed-response LRU, micro-batching of compute onto
+a process pool (:mod:`~repro.serve.batching` →
+:mod:`~repro.serve.pipeline`), bounded admission with 429 backpressure,
+per-request deadlines, and graceful drain — all metered through
+:mod:`repro.obs` (:mod:`~repro.serve.server`).  Blocking and asyncio
+clients live in :mod:`~repro.serve.client`; the closed-loop load
+generator behind ``repro loadgen`` in :mod:`~repro.serve.loadgen`.
+"""
+
+from .client import AsyncServeClient, ServeClient, ServeError
+from .protocol import PartitionRequest, ProtocolError, validate_partition_request
+from .server import EmbeddedServer, PartitionServer, ServeConfig, serve_main
+from .loadgen import loadgen_main
+
+__all__ = [
+    "AsyncServeClient",
+    "ServeClient",
+    "ServeError",
+    "PartitionRequest",
+    "ProtocolError",
+    "validate_partition_request",
+    "EmbeddedServer",
+    "PartitionServer",
+    "ServeConfig",
+    "serve_main",
+    "loadgen_main",
+]

@@ -1,0 +1,178 @@
+"""Micro-batching of request compute onto the PR-4 process pool.
+
+The event loop must never run the partitioning pipeline itself — a
+single Example-8 optimisation would stall every connection for tens of
+milliseconds.  :class:`MicroBatcher` is the bridge: requests accumulate
+for a short window (or until the batch is full) and ship to a
+``ProcessPoolExecutor`` as *one* :func:`~repro.serve.pipeline.run_batch`
+call, amortising submit/pickle overhead and letting each worker reuse
+its warm analytic caches across the whole batch.  Cache entries the
+workers compute travel back with each result and are absorbed into the
+server's process-wide tables, so they survive worker recycling and reach
+``--cache-dir`` persistence at shutdown.
+
+A worker that dies mid-batch (OOM kill, segfault) breaks the pool;
+the batcher converts that into per-request ``worker-died`` errors,
+replaces the pool, and keeps serving — one lost batch, not a dead
+service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..lattice import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
+from ..obs import get_logger, get_registry
+from .pipeline import init_worker, run_batch
+from .protocol import PartitionRequest, ProtocolError
+
+__all__ = ["MicroBatcher"]
+
+logger = get_logger("serve.batching")
+
+
+class MicroBatcher:
+    """Coalesce concurrent compute submissions into pool batches."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        window_s: float = 0.002,
+        max_batch: int = 8,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._pool: ProcessPoolExecutor | None = None
+        self._pending: list[tuple[PartitionRequest, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._dispatches: set[asyncio.Task] = set()
+        self._metrics = get_registry()
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = self._new_pool()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=init_worker,
+            initargs=(self.cache_dir,),
+        )
+
+    async def drain(self) -> None:
+        """Flush pending work and wait for every in-flight batch."""
+        self._flush()
+        while self._dispatches:
+            await asyncio.gather(*list(self._dispatches), return_exceptions=True)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        for _, future in self._pending:
+            if not future.done():
+                future.set_exception(
+                    ProtocolError("server shutting down", code="shutting-down", status=503)
+                )
+        self._pending.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- submission ------------------------------------------------------
+    async def submit(self, request: PartitionRequest) -> dict:
+        """Queue ``request`` and await its run report.
+
+        Raises :class:`~repro.serve.protocol.ProtocolError` when the
+        pipeline (or the pool) failed the request.
+        """
+        if self._pool is None:
+            raise RuntimeError("MicroBatcher.submit before start()")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window_s, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        task = asyncio.ensure_future(self._dispatch(batch))
+        self._dispatches.add(task)
+        task.add_done_callback(self._dispatches.discard)
+
+    # -- dispatch --------------------------------------------------------
+    async def _dispatch(self, batch: list[tuple[PartitionRequest, asyncio.Future]]) -> None:
+        loop = asyncio.get_running_loop()
+        self._metrics.counter("serve.batches").inc()
+        self._metrics.histogram("serve.batch_size").observe(len(batch))
+        try:
+            outcomes, lattice_entries, footprint_entries = await loop.run_in_executor(
+                self._pool, run_batch, [request for request, _ in batch]
+            )
+        except BrokenProcessPool:
+            logger.error(
+                "a compute worker died mid-batch; failing %d request(s) "
+                "and replacing the pool",
+                len(batch),
+            )
+            self._metrics.counter("serve.worker_deaths").inc()
+            broken, self._pool = self._pool, self._new_pool()
+            # The broken pool cannot run anything again; reap its children
+            # without blocking the loop on their exit.
+            broken.shutdown(wait=False, cancel_futures=True)
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(
+                        ProtocolError(
+                            "a compute worker process died while running this "
+                            "batch; the request may be retried",
+                            code="worker-died",
+                            status=500,
+                        )
+                    )
+            return
+        except Exception as e:  # pragma: no cover - defensive
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(
+                        ProtocolError(
+                            f"batch dispatch failed: {type(e).__name__}: {e}",
+                            code="internal-error",
+                            status=500,
+                        )
+                    )
+            return
+        DEFAULT_LATTICE_CACHE.absorb_entries(lattice_entries)
+        DEFAULT_FOOTPRINT_TABLE.absorb_entries(footprint_entries)
+        for (_, future), (kind, payload) in zip(batch, outcomes):
+            if future.done():
+                continue
+            if kind == "ok":
+                future.set_result(payload)
+            else:
+                err = payload.get("error", {})
+                future.set_exception(
+                    ProtocolError(
+                        err.get("message", "pipeline failed"),
+                        code=err.get("code", "internal-error"),
+                        status=payload.get("status", 500),
+                        field=err.get("field"),
+                    )
+                )

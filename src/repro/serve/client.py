@@ -1,0 +1,214 @@
+"""Clients for the partition service (blocking and asyncio).
+
+:class:`ServeClient` wraps a keep-alive :class:`http.client.HTTPConnection`
+for scripts, tests, and the load generator; :class:`AsyncServeClient`
+speaks the same protocol over asyncio streams for embedding in event
+loops.  Both raise :class:`ServeError` for any non-200 response, carrying
+the HTTP status and the decoded typed error payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+__all__ = ["ServeError", "ServeClient", "AsyncServeClient"]
+
+
+class ServeError(Exception):
+    """A non-200 response from the service."""
+
+    def __init__(self, status: int, payload: dict | None = None):
+        err = (payload or {}).get("error", {})
+        self.status = status
+        self.code = err.get("code", "unknown")
+        self.payload = payload or {}
+        self.retry_after: float | None = None
+        super().__init__(
+            f"HTTP {status} [{self.code}]: {err.get('message', 'no error payload')}"
+        )
+
+
+def _request_body(source, processors, **options) -> dict:
+    body = {"source": source, "processors": processors}
+    body.update({k: v for k, v in options.items() if v is not None})
+    return body
+
+
+class ServeClient:
+    """Blocking keep-alive client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, *, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        #: Cache disposition of the last compute call (miss/hit/coalesced).
+        self.last_cache_status: str | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = self._connection()
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # A dropped keep-alive connection is retried once on a fresh
+            # socket; a genuinely dead server fails the retry.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError as e:
+            raise ServeError(response.status, {"error": {
+                "code": "bad-response", "message": f"undecodable body: {e}"}}) from None
+        self.last_cache_status = response.getheader("X-Repro-Cache")
+        if response.status != 200:
+            err = ServeError(response.status, decoded)
+            retry_after = response.getheader("Retry-After")
+            if retry_after is not None:
+                try:
+                    err.retry_after = float(retry_after)
+                except ValueError:
+                    pass
+            raise err
+        return decoded
+
+    # -- endpoints -------------------------------------------------------
+    def partition(self, source: str, processors: int, **options) -> dict:
+        """``POST /v1/partition``; options mirror the request schema
+        (``bindings``, ``method``, ``simulate``, ``sweeps``, ``engine``,
+        ``label``, ``deadline_ms``)."""
+        return self.request(
+            "POST", "/v1/partition", _request_body(source, processors, **options)
+        )
+
+    def simulate(self, source: str, processors: int, **options) -> dict:
+        """``POST /v1/simulate`` (partition + machine-simulator validation)."""
+        return self.request(
+            "POST", "/v1/simulate", _request_body(source, processors, **options)
+        )
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+
+class AsyncServeClient:
+    """Asyncio client (one connection, sequential requests)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+        self.last_cache_status: str | None = None
+
+    async def _connect(self) -> None:
+        if self._writer is None:
+            import asyncio
+
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=1 << 22
+            )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        await self._connect()
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ServeError(0, {"error": {"code": "connection-closed",
+                                           "message": "server closed the connection"}})
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        self.last_cache_status = headers.get("x-repro-cache")
+        if status != 200:
+            err = ServeError(status, decoded)
+            if "retry-after" in headers:
+                try:
+                    err.retry_after = float(headers["retry-after"])
+                except ValueError:
+                    pass
+            raise err
+        return decoded
+
+    async def partition(self, source: str, processors: int, **options) -> dict:
+        return await self.request(
+            "POST", "/v1/partition", _request_body(source, processors, **options)
+        )
+
+    async def simulate(self, source: str, processors: int, **options) -> dict:
+        return await self.request(
+            "POST", "/v1/simulate", _request_body(source, processors, **options)
+        )
+
+    async def healthz(self) -> dict:
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self.request("GET", "/metrics")

@@ -1,0 +1,361 @@
+"""``repro loadgen`` — a closed-loop load generator for the service.
+
+Drives ``--clients`` concurrent blocking clients through ``--requests``
+total requests drawn round-robin from a corpus of the paper's example
+programs (optionally extended with seeded random nests from the
+:mod:`repro.check` generator via ``--generated``), and reports
+throughput and latency percentiles.  ``--spawn`` launches a private
+server subprocess on an ephemeral port first, so one command exercises
+the full stack — that is what the CI smoke job and the E22 benchmark
+run.
+
+429 (overload) responses are retried after the server's ``Retry-After``
+hint and counted separately; anything else non-200 is an error, and any
+error fails the run (exit 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from .client import ServeClient, ServeError
+
+__all__ = ["PAPER_CORPUS", "loadgen_main", "run_loadgen", "spawn_server"]
+
+#: The paper's worked examples as service requests: (label, source,
+#: bindings, processors).  Sizes follow benchmarks/paper_programs.py.
+PAPER_CORPUS: list[tuple[str, str, dict, int]] = [
+    (
+        "example2",
+        "Doall (i, 101, 200)\n"
+        "  Doall (j, 1, 100)\n"
+        "    A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3]\n"
+        "  EndDoall\n"
+        "EndDoall\n",
+        {},
+        100,
+    ),
+    (
+        "example3",
+        "Doall (i, 1, N)\n"
+        "  Doall (j, 1, N)\n"
+        "    A[i,j] = B[i,j] + B[i+1,j+3]\n"
+        "  EndDoall\n"
+        "EndDoall\n",
+        {"N": 36},
+        9,
+    ),
+    (
+        "example6",
+        "Doall (i, 0, 99)\n"
+        "  Doall (j, 0, 99)\n"
+        "    A[i,j] = B[i+j,j] + B[i+j+1,j+2]\n"
+        "  EndDoall\n"
+        "EndDoall\n",
+        {},
+        25,
+    ),
+    (
+        "example8",
+        "Doall (i, 1, N)\n"
+        "  Doall (j, 1, N)\n"
+        "    Doall (k, 1, N)\n"
+        "      A(i,j,k) = B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)\n"
+        "    EndDoall\n"
+        "  EndDoall\n"
+        "EndDoall\n",
+        {"N": 24},
+        8,
+    ),
+    (
+        "matmul",
+        "Doall (i, 1, N)\n"
+        "  Doall (j, 1, N)\n"
+        "    C[i,j] = A[i,j] + B[j,i]\n"
+        "  EndDoall\n"
+        "EndDoall\n",
+        {"N": 32},
+        16,
+    ),
+]
+
+
+def _generated_corpus(count: int, seed: int) -> list[tuple[str, str, dict, int]]:
+    from ..check.generator import generate_case
+
+    out = []
+    for case_id in range(count):
+        spec = generate_case(case_id, seed, max_accesses=2000)
+        out.append((f"generated-{seed}-{case_id}", spec.source(), {}, spec.processors))
+    return out
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 for empty input)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def run_loadgen(
+    *,
+    host: str,
+    port: int,
+    clients: int,
+    requests: int,
+    corpus: list[tuple[str, str, dict, int]],
+    simulate: bool = False,
+    deadline_ms: int | None = None,
+    max_retries: int = 5,
+) -> dict:
+    """Fire ``requests`` requests from ``clients`` threads; return stats."""
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if not corpus:
+        raise ValueError("corpus is empty")
+    lock = threading.Lock()
+    next_index = 0
+    latencies: list[float] = []
+    errors: list[dict] = []
+    retries = 0
+    cache_hits = 0
+
+    def take() -> int | None:
+        nonlocal next_index
+        with lock:
+            if next_index >= requests:
+                return None
+            i = next_index
+            next_index += 1
+            return i
+
+    def worker() -> None:
+        nonlocal retries, cache_hits
+        with ServeClient(host, port) as client:
+            while True:
+                i = take()
+                if i is None:
+                    return
+                label, source, bindings, processors = corpus[i % len(corpus)]
+                t0 = time.perf_counter()
+                attempt = 0
+                while True:
+                    try:
+                        client.partition(
+                            source,
+                            processors,
+                            bindings=bindings or None,
+                            simulate=simulate or None,
+                            label=label,
+                            deadline_ms=deadline_ms,
+                        )
+                        with lock:
+                            latencies.append(time.perf_counter() - t0)
+                            if client.last_cache_status in ("hit", "coalesced"):
+                                cache_hits += 1
+                        break
+                    except ServeError as e:
+                        if e.status == 429 and attempt < max_retries:
+                            attempt += 1
+                            with lock:
+                                retries += 1
+                            time.sleep(e.retry_after or 0.05)
+                            continue
+                        with lock:
+                            errors.append(
+                                {"request": i, "label": label, "status": e.status,
+                                 "code": e.code, "message": str(e)}
+                            )
+                        break
+                    except OSError as e:
+                        with lock:
+                            errors.append(
+                                {"request": i, "label": label, "status": 0,
+                                 "code": "connection", "message": str(e)}
+                            )
+                        return
+
+    t_start = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t_start
+
+    ok = sorted(latencies)
+    return {
+        "clients": clients,
+        "requests": requests,
+        "completed": len(ok),
+        "errors": errors,
+        "error_count": len(errors),
+        "retries_429": retries,
+        "cache_hits": cache_hits,
+        "wall_s": wall_s,
+        "throughput_rps": (len(ok) / wall_s) if wall_s > 0 else 0.0,
+        "latency_ms": {
+            "mean": (sum(ok) / len(ok) * 1000) if ok else 0.0,
+            "p50": percentile(ok, 0.50) * 1000,
+            "p99": percentile(ok, 0.99) * 1000,
+            "max": (ok[-1] * 1000) if ok else 0.0,
+        },
+    }
+
+
+def spawn_server(
+    *,
+    workers: int = 1,
+    queue_depth: int = 64,
+    cache_dir: str | None = None,
+    extra_args: list[str] | None = None,
+    timeout_s: float = 60.0,
+) -> tuple[subprocess.Popen, int]:
+    """Start ``python -m repro serve`` on an ephemeral port; returns
+    ``(process, port)`` once the server is listening."""
+    port_file = tempfile.NamedTemporaryFile(
+        prefix="repro-serve-port.", suffix=".txt", delete=False
+    )
+    port_file.close()
+    os.unlink(port_file.name)
+    # Children must resolve the same `repro` package as this process,
+    # whether it came from an install or a source checkout on PYTHONPATH.
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--port-file", port_file.name,
+        "--workers", str(workers), "--queue-depth", str(queue_depth),
+    ]
+    if cache_dir:
+        cmd += ["--cache-dir", cache_dir]
+    cmd += extra_args or []
+    proc = subprocess.Popen(cmd, env=env)
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server subprocess exited early with code {proc.returncode}"
+            )
+        try:
+            with open(port_file.name, encoding="utf-8") as fh:
+                text = fh.read().strip()
+            if text:
+                os.unlink(port_file.name)
+                return proc, int(text)
+        except FileNotFoundError:
+            pass
+        time.sleep(0.05)
+    proc.terminate()
+    raise RuntimeError(f"server did not start within {timeout_s}s")
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Load-generate against a repro serve instance using the "
+        "paper's example programs.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--clients", type=int, default=4, metavar="N")
+    p.add_argument("--requests", type=int, default=40, metavar="M",
+                   help="total requests across all clients")
+    p.add_argument("--generated", type=int, default=0, metavar="K",
+                   help="extend the corpus with K seeded random nests "
+                   "(repro.check generator)")
+    p.add_argument("--seed", type=int, default=0, metavar="S",
+                   help="seed for --generated")
+    p.add_argument("--simulate", action="store_true",
+                   help="request machine-simulator validation too")
+    p.add_argument("--deadline-ms", type=int, default=None, metavar="MS")
+    p.add_argument("--spawn", action="store_true",
+                   help="launch a private server subprocess on an ephemeral "
+                   "port, load it, then drain it")
+    p.add_argument("--spawn-workers", type=int, default=1, metavar="N",
+                   help="--workers for the spawned server")
+    p.add_argument("--spawn-cache-dir", default=None, metavar="DIR",
+                   help="--cache-dir for the spawned server")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the stats dict as JSON")
+    return p
+
+
+def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
+    """Entry point for ``repro loadgen``."""
+    parser = build_loadgen_parser()
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error(f"--clients must be >= 1, got {args.clients}")
+    if args.requests < 1:
+        parser.error(f"--requests must be >= 1, got {args.requests}")
+    if args.generated < 0:
+        parser.error(f"--generated must be >= 0, got {args.generated}")
+    out = out or sys.stdout
+
+    corpus = list(PAPER_CORPUS)
+    if args.generated:
+        corpus.extend(_generated_corpus(args.generated, args.seed))
+
+    proc = None
+    host, port = args.host, args.port
+    try:
+        if args.spawn:
+            proc, port = spawn_server(
+                workers=args.spawn_workers, cache_dir=args.spawn_cache_dir
+            )
+            host = "127.0.0.1"
+            print(f"loadgen: spawned server on port {port}", file=out)
+        stats = run_loadgen(
+            host=host,
+            port=port,
+            clients=args.clients,
+            requests=args.requests,
+            corpus=corpus,
+            simulate=args.simulate,
+            deadline_ms=args.deadline_ms,
+        )
+    finally:
+        if proc is not None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    lat = stats["latency_ms"]
+    print(
+        f"loadgen: {stats['completed']}/{stats['requests']} ok, "
+        f"{stats['error_count']} errors, {stats['retries_429']} overload "
+        f"retries, {stats['cache_hits']} cache/coalesce hits in "
+        f"{stats['wall_s']:.2f}s ({stats['throughput_rps']:.1f} req/s)",
+        file=out,
+    )
+    print(
+        f"latency ms: mean {lat['mean']:.1f}  p50 {lat['p50']:.1f}  "
+        f"p99 {lat['p99']:.1f}  max {lat['max']:.1f}",
+        file=out,
+    )
+    for err in stats["errors"][:10]:
+        print(
+            f"  error: request {err['request']} ({err['label']}): "
+            f"[{err['code']}] {err['message']}",
+            file=out,
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"stats -> {args.json}", file=out)
+    return 1 if stats["error_count"] else 0

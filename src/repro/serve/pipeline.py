@@ -1,0 +1,150 @@
+"""Worker-side request execution: a validated request → a run report.
+
+:func:`execute_request` is the one function that turns a
+:class:`~repro.serve.protocol.PartitionRequest` into the same
+schema-versioned ``repro.run-report`` document the one-shot CLI writes
+for ``--json-report`` — same span names, same report sections, same
+``program`` keys — so a served response is byte-identical (timings
+aside) to a CLI run of the same program.
+``tests/test_serve_differential.py`` holds that equivalence.
+
+The module is imported by the server's process-pool children
+(:mod:`repro.serve.batching` submits :func:`run_batch`), so everything
+here must be picklable by reference and safe to run serially in a
+long-lived worker: the tracer is reset per request (span lists must not
+accumulate across requests), and analytic-cache entries computed by the
+worker are shipped back *incrementally* so the parent can persist them
+and warm future workers without re-serialising the whole table on every
+batch.
+"""
+
+from __future__ import annotations
+
+from ..core.partitioner import LoopPartitioner
+from ..exceptions import ReproError
+from ..lang import lower_nest, parse_program
+from ..lattice import (
+    DEFAULT_FOOTPRINT_TABLE,
+    DEFAULT_LATTICE_CACHE,
+    analytic_cache_stats,
+)
+from ..obs import build_report, get_tracer, span
+from ..sim import Machine, MachineConfig, simulate_nest
+from .protocol import PartitionRequest, ProtocolError
+
+__all__ = ["execute_request", "run_batch", "init_worker"]
+
+
+def execute_request(request: PartitionRequest) -> dict:
+    """Run the full pipeline for one request; returns the run report.
+
+    Raises :class:`~repro.serve.protocol.ProtocolError` for declared
+    pipeline failures (unparsable source, unbound symbols, infeasible
+    optimisation) so callers can map them to a 422 without pattern-
+    matching exception types.
+    """
+    tracer = get_tracer()
+    tracer.reset()  # the report's spans describe only this request
+    try:
+        with span("lang.parse"):
+            program = parse_program(request.source)
+        if not program.nests:
+            raise ProtocolError(
+                "no loop nests found in 'source'", code="pipeline-error", field="source"
+            )
+        node = program.nests[0]
+        nest = lower_nest(node, dict(request.bindings))
+        part = LoopPartitioner(nest, request.processors)
+        result = part.partition(method=request.method, cache=DEFAULT_LATTICE_CACHE)
+        sim = None
+        if request.simulate:
+            machine = Machine(MachineConfig(processors=request.processors))
+            sim = simulate_nest(
+                nest,
+                result.tile,
+                request.processors,
+                sweeps=request.sweeps,
+                machine=machine,
+                engine=request.engine,
+            )
+    except ProtocolError:
+        raise
+    except ReproError as e:
+        raise ProtocolError(str(e), code="pipeline-error") from e
+    return build_report(
+        processors=request.processors,
+        partition=result,
+        sim=sim,
+        program={
+            "source": request.label if request.label is not None else "<request>",
+            "processors": request.processors,
+            "bindings": dict(request.bindings),
+            "extents": nest.space.extents.tolist(),
+            "iterations": int(nest.space.volume),
+            "method": request.method,
+            "sweeps": request.sweeps,
+        },
+        caches=analytic_cache_stats(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (module-level so the pool can pickle by reference)
+
+#: Cache keys this worker already shipped to the parent; only the delta
+#: travels with each batch result.
+_shipped_lattice: set = set()
+_shipped_footprint: set = set()
+
+
+def init_worker(cache_dir: str | None = None) -> None:
+    """Pool initializer: hydrate the child's analytic caches.
+
+    Under the ``fork`` start method children inherit the parent's warm
+    caches for free; under ``spawn`` they start cold, so the warm-start
+    snapshot is loaded explicitly.  Entries present at startup are marked
+    shipped — the parent already has them.
+    """
+    if cache_dir:
+        from ..lattice.persist import load_caches
+
+        load_caches(cache_dir)
+    _shipped_lattice.update(k for k, _ in DEFAULT_LATTICE_CACHE.export_entries())
+    _shipped_footprint.update(k for k, _ in DEFAULT_FOOTPRINT_TABLE.export_entries())
+
+
+def _fresh_entries(cache, shipped: set) -> list:
+    fresh = [(k, v) for k, v in cache.export_entries() if k not in shipped]
+    shipped.update(k for k, _ in fresh)
+    return fresh
+
+
+def run_batch(requests: list[PartitionRequest]) -> tuple[list[tuple[str, dict]], list, list]:
+    """Execute a micro-batch of requests in this worker process.
+
+    Returns ``(outcomes, new_lattice_entries, new_footprint_entries)``
+    where each outcome is ``("ok", report)`` or ``("error", payload)``
+    with ``payload`` in the protocol's error shape plus a ``status`` the
+    server strips before sending.  Exceptions never escape: one poisoned
+    request must not take down its batch-mates (their futures would all
+    fail) or the worker.
+    """
+    outcomes: list[tuple[str, dict]] = []
+    for request in requests:
+        try:
+            outcomes.append(("ok", execute_request(request)))
+        except ProtocolError as e:
+            payload = e.to_payload()
+            payload["status"] = e.status
+            outcomes.append(("error", payload))
+        except Exception as e:  # pragma: no cover - worker safety net
+            from .protocol import error_payload
+
+            payload = error_payload("internal-error", f"{type(e).__name__}: {e}")
+            payload["status"] = 500
+            outcomes.append(("error", payload))
+    return (
+        outcomes,
+        _fresh_entries(DEFAULT_LATTICE_CACHE, _shipped_lattice),
+        _fresh_entries(DEFAULT_FOOTPRINT_TABLE, _shipped_footprint),
+    )

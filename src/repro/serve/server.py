@@ -1,0 +1,618 @@
+"""Partition-as-a-service: the asyncio HTTP server.
+
+``python -m repro serve`` turns the one-shot pipeline into a long-lived
+service so the expensive lattice/footprint machinery is paid once and
+amortised across requests:
+
+* ``POST /v1/partition`` — Doall source + machine parameters in, the
+  ``repro.run-report`` document out (byte-identical, timings aside, to
+  the CLI's ``--json-report`` for the same program);
+* ``POST /v1/simulate`` — same request shape with ``simulate`` forced on;
+* ``GET /healthz`` — liveness + admission-queue state;
+* ``GET /metrics`` — the process :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot plus analytic-cache statistics.
+
+Production semantics, in the order a request meets them:
+
+1. **Parsing/validation** — malformed HTTP or JSON → 400; schema
+   violations → 422 with a typed error payload naming the field.
+2. **Response cache** — an LRU of completed responses keyed by the
+   request's canonical key; steady-state repeats of a warm request skip
+   compute entirely (``X-Repro-Cache: hit``).
+3. **Coalescing** — identical requests *in flight* share one
+   computation (``X-Repro-Cache: coalesced``).
+4. **Admission control** — at most ``--queue-depth`` unique computations
+   may be queued or running; beyond that the server sheds load with
+   ``429`` + ``Retry-After`` instead of building an unbounded backlog.
+5. **Micro-batching** — admitted requests ride the
+   :class:`~repro.serve.batching.MicroBatcher` onto the process pool.
+6. **Deadlines** — each request has a deadline (``deadline_ms`` or the
+   server default); a request whose compute is still running when it
+   expires gets ``504``, while the computation itself is left to finish
+   and populate the response cache for the retry.
+7. **Graceful drain** — SIGTERM/SIGINT stop the listener, let in-flight
+   work finish (bounded by ``--drain-s``), flush the warm caches to
+   ``--cache-dir``, then exit.
+
+The HTTP implementation is a deliberately minimal HTTP/1.1 subset over
+``asyncio`` streams (keep-alive, ``Content-Length`` framing only) — the
+stdlib has no asyncio HTTP server and this service needs exactly this
+much.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .. import __version__
+from ..lattice import analytic_cache_stats
+from ..obs import configure_logging, get_logger, get_registry
+from .batching import MicroBatcher
+from .protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    error_payload,
+    validate_partition_request,
+)
+
+__all__ = ["ServeConfig", "PartitionServer", "EmbeddedServer", "serve_main"]
+
+logger = get_logger("serve.server")
+
+_POST_ROUTES = ("/v1/partition", "/v1/simulate")
+_GET_ROUTES = ("/healthz", "/metrics")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787  # 0 = ephemeral (the bound port lands in --port-file)
+    workers: int = 1
+    queue_depth: int = 64
+    batch_window_ms: float = 2.0
+    max_batch: int = 8
+    cache_dir: str | None = None
+    response_cache_size: int = 256
+    deadline_ms: int = 60_000
+    drain_s: float = 10.0
+    port_file: str | None = None
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """One HTTP/1.1 request → ``(method, path, headers, body)``.
+
+    Returns ``None`` on a clean EOF before the request line (keep-alive
+    connection closed by the peer).
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, path, _version = line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise _HttpError(400, "truncated headers")
+        try:
+            name, _, value = raw.decode("latin-1").partition(":")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            raise _HttpError(400, "undecodable header") from None
+        if not _:
+            raise _HttpError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if n < 0:
+            raise _HttpError(400, "negative Content-Length")
+        if n > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(n)
+    elif headers.get("transfer-encoding"):
+        raise _HttpError(400, "chunked request bodies are not supported")
+    return method, path.split("?", 1)[0], headers, body
+
+
+def _encode_response(
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Server: repro-serve/{__version__}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+class PartitionServer:
+    """The service: owns the listener, the batcher, and the shared caches."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        if self.config.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.config.workers}")
+        if self.config.queue_depth < 1:
+            raise ValueError(f"queue-depth must be >= 1, got {self.config.queue_depth}")
+        self.port: int | None = None
+        self.started_at: float | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._batcher = MicroBatcher(
+            workers=self.config.workers,
+            cache_dir=self.config.cache_dir,
+            window_s=self.config.batch_window_ms / 1000.0,
+            max_batch=self.config.max_batch,
+        )
+        self._metrics = get_registry()
+        self._admitted = 0  # unique computations queued or running
+        self._inflight: dict[tuple, asyncio.Task] = {}
+        self._response_cache: OrderedDict[tuple, dict] = OrderedDict()
+        self._shutdown_event: asyncio.Event | None = None
+        self._draining = False
+        self._requests_served = 0
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Hydrate caches, spin up the pool, bind the listener."""
+        loaded = 0
+        if self.config.cache_dir:
+            from ..lattice.persist import load_caches
+
+            loaded = load_caches(self.config.cache_dir)
+            logger.info(
+                "warm-started analytic caches: %d entries from %s",
+                loaded,
+                self.config.cache_dir,
+            )
+        self._batcher.start()
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=65536,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        self._metrics.gauge("serve.queue_depth_limit").set(self.config.queue_depth)
+        self._metrics.gauge("serve.cache_entries_loaded").set(loaded)
+        if self.config.port_file:
+            with open(self.config.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{self.port}\n")
+        logger.info("listening on %s:%d", self.config.host, self.port)
+
+    def signal_shutdown(self) -> None:
+        """Begin graceful drain (call from within the event loop)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._shutdown_event is not None, "start() first"
+        await self._shutdown_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, flush caches."""
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        try:
+            await asyncio.wait_for(self._batcher.drain(), timeout=self.config.drain_s)
+        except asyncio.TimeoutError:
+            logger.warning(
+                "drain did not finish within %.1fs; abandoning in-flight work",
+                self.config.drain_s,
+            )
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight.values()), return_exceptions=True)
+        if self.config.cache_dir:
+            from ..lattice.persist import save_caches
+
+            try:
+                written = save_caches(self.config.cache_dir)
+                logger.info(
+                    "persisted analytic caches: %d entries in %s",
+                    written,
+                    self.config.cache_dir,
+                )
+            except OSError as e:
+                logger.warning(
+                    "could not persist analytic caches to %r: %s",
+                    self.config.cache_dir,
+                    e,
+                )
+        # Pool teardown joins worker processes; keep it off the loop thread.
+        await asyncio.get_running_loop().run_in_executor(None, self._batcher.stop)
+        logger.info("drained; %d requests served", self._requests_served)
+
+    # -- connection handling ---------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(_read_request(reader), timeout=60.0)
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except _HttpError as e:
+                    writer.write(
+                        _encode_response(
+                            e.status,
+                            error_payload("invalid-request", str(e)),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                status, payload, extra = await self._route(method, path, body)
+                writer.write(
+                    _encode_response(
+                        status, payload, keep_alive=keep_alive, extra_headers=extra
+                    )
+                )
+                await writer.drain()
+                self._requests_served += 1
+                if not keep_alive:
+                    break
+        except ConnectionError:  # peer vanished mid-response
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    # -- routing ---------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes):
+        """Dispatch one request; returns ``(status, payload, extra_headers)``."""
+        endpoint = path if path in _POST_ROUTES + _GET_ROUTES else "other"
+        self._metrics.counter("serve.requests", endpoint=endpoint).inc()
+        t0 = time.perf_counter()
+        extra: dict[str, str] = {}
+        try:
+            if path in _GET_ROUTES:
+                if method != "GET":
+                    raise ProtocolError(
+                        f"{path} only supports GET", code="method-not-allowed", status=405
+                    )
+                payload = self._healthz() if path == "/healthz" else self._metrics_dump()
+                status = 200
+            elif path in _POST_ROUTES:
+                if method != "POST":
+                    raise ProtocolError(
+                        f"{path} only supports POST", code="method-not-allowed", status=405
+                    )
+                status, payload, extra = await self._handle_compute(path, body)
+            else:
+                raise ProtocolError(
+                    f"no such endpoint {path!r}", code="not-found", status=404
+                )
+        except ProtocolError as e:
+            status, payload = e.status, e.to_payload()
+            if e.status == 429:
+                extra["Retry-After"] = "1"
+        except Exception as e:  # pragma: no cover - route safety net
+            logger.exception("unhandled error serving %s %s", method, path)
+            status = 500
+            payload = error_payload("internal-error", f"{type(e).__name__}: {e}")
+        self._metrics.counter(
+            "serve.responses", endpoint=endpoint, status=str(status)
+        ).inc()
+        self._metrics.histogram("serve.latency_ms", endpoint=endpoint).observe(
+            int((time.perf_counter() - t0) * 1000)
+        )
+        return status, payload, extra
+
+    async def _handle_compute(self, path: str, body: bytes):
+        if self._draining:
+            raise ProtocolError(
+                "server is draining", code="shutting-down", status=503
+            )
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise ProtocolError(
+                f"request body is not valid JSON: {e}",
+                code="invalid-request",
+                status=400,
+            ) from None
+        request = validate_partition_request(
+            decoded, force_simulate=(path == "/v1/simulate")
+        )
+        key = request.canonical_key
+
+        cached = self._response_cache.get(key)
+        if cached is not None:
+            self._response_cache.move_to_end(key)
+            self._metrics.counter("serve.response_cache.hits").inc()
+            return 200, cached, {"X-Repro-Cache": "hit"}
+        self._metrics.counter("serve.response_cache.misses").inc()
+
+        extra = {"X-Repro-Cache": "miss"}
+        task = self._inflight.get(key)
+        if task is not None:
+            self._metrics.counter("serve.coalesced").inc()
+            extra["X-Repro-Cache"] = "coalesced"
+        else:
+            if self._admitted >= self.config.queue_depth:
+                self._metrics.counter("serve.rejected").inc()
+                raise ProtocolError(
+                    f"admission queue is full ({self.config.queue_depth} "
+                    "requests queued or running); retry shortly",
+                    code="overloaded",
+                    status=429,
+                )
+            self._admitted += 1
+            self._metrics.gauge("serve.inflight").set(self._admitted)
+            task = asyncio.ensure_future(self._compute(request))
+            self._inflight[key] = task
+            task.add_done_callback(lambda _t, key=key: self._compute_done(key))
+
+        deadline_s = (request.deadline_ms or self.config.deadline_ms) / 1000.0
+        try:
+            # shield(): a timed-out waiter must not cancel the shared
+            # computation out from under coalesced followers (and the
+            # response cache, which the retry will hit).
+            report = await asyncio.wait_for(asyncio.shield(task), timeout=deadline_s)
+        except asyncio.TimeoutError:
+            self._metrics.counter("serve.deadline_exceeded").inc()
+            raise ProtocolError(
+                f"request did not complete within {deadline_s * 1000:.0f} ms "
+                "(the computation continues and will populate the cache)",
+                code="deadline-exceeded",
+                status=504,
+            ) from None
+        return 200, report, extra
+
+    async def _compute(self, request) -> dict:
+        report = await self._batcher.submit(request)
+        if self.config.response_cache_size > 0:
+            self._response_cache[request.canonical_key] = report
+            self._response_cache.move_to_end(request.canonical_key)
+            while len(self._response_cache) > self.config.response_cache_size:
+                self._response_cache.popitem(last=False)
+        return report
+
+    def _compute_done(self, key: tuple) -> None:
+        self._inflight.pop(key, None)
+        self._admitted -= 1
+        self._metrics.gauge("serve.inflight").set(self._admitted)
+
+    # -- GET endpoints ---------------------------------------------------
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self.started_at, 3)
+            if self.started_at is not None
+            else 0.0,
+            "inflight": self._admitted,
+            "queue_depth": self.config.queue_depth,
+            "workers": self.config.workers,
+            "response_cache_entries": len(self._response_cache),
+        }
+
+    def _metrics_dump(self) -> dict:
+        return {
+            "schema": "repro.serve-metrics",
+            "version": 1,
+            "generated_by": f"repro {__version__}",
+            "server": self._healthz(),
+            "metrics": self._metrics.snapshot(),
+            "caches": analytic_cache_stats(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Embedding and CLI
+
+
+class EmbeddedServer:
+    """A :class:`PartitionServer` on a background thread.
+
+    For tests and in-process embedding: ``start()`` returns once the
+    port is bound; ``stop()`` runs the full graceful drain.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.server = PartitionServer(config)
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not started"
+        return self.server.port
+
+    def start(self) -> "EmbeddedServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("embedded server did not start within 30s")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as e:
+                self._startup_error = e
+                self._started.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            await self.server.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException:
+            if not self._started.is_set():  # pragma: no cover - surfaced in start()
+                self._started.set()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.signal_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def __enter__(self) -> "EmbeddedServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-lived partition-as-a-service HTTP server: "
+        "POST /v1/partition, POST /v1/simulate, GET /healthz, GET /metrics.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 = ephemeral; see --port-file)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="compute worker processes (>= 1)")
+    p.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                   help="max computations queued or running before the "
+                   "server sheds load with 429 (>= 1)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0, metavar="MS",
+                   help="micro-batching window for pool dispatch")
+    p.add_argument("--max-batch", type=int, default=8, metavar="N",
+                   help="max requests per pool batch")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="warm-start the analytic caches from DIR at startup "
+                   "and flush them there on shutdown; defaults to "
+                   "$REPRO_CACHE_DIR when that is set")
+    p.add_argument("--response-cache", type=int, default=256, metavar="N",
+                   help="completed-response LRU size (0 disables)")
+    p.add_argument("--deadline-ms", type=int, default=60_000, metavar="MS",
+                   help="default per-request deadline")
+    p.add_argument("--drain-s", type=float, default=10.0, metavar="S",
+                   help="max seconds to wait for in-flight work on shutdown")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    p.add_argument("--log-level", default=None,
+                   choices=["debug", "info", "warning", "error"])
+    return p
+
+
+def serve_main(argv: list[str] | None = None, *, out=None) -> int:
+    """Entry point for ``repro serve``."""
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.queue_depth < 1:
+        parser.error(f"--queue-depth must be >= 1, got {args.queue_depth}")
+    if args.max_batch < 1:
+        parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.log_level:
+        configure_logging(args.log_level)
+    out = out or sys.stdout
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        cache_dir=args.cache_dir or os.environ.get("REPRO_CACHE_DIR"),
+        response_cache_size=args.response_cache,
+        deadline_ms=args.deadline_ms,
+        drain_s=args.drain_s,
+        port_file=args.port_file,
+    )
+
+    async def run() -> None:
+        server = PartitionServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.signal_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(
+            f"serve: listening on http://{config.host}:{server.port} "
+            f"(workers={config.workers}, queue-depth={config.queue_depth})",
+            file=out,
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+        print("serve: drained, bye", file=out, flush=True)
+
+    try:
+        asyncio.run(run())
+    except OSError as e:
+        print(f"error: cannot listen on {config.host}:{config.port}: {e}", file=out)
+        return 1
+    return 0

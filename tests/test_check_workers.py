@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.check.harness import check_main, run_check
+from repro.exceptions import ReproError
 
 
 def _strip_duration(report: dict) -> dict:
@@ -89,3 +90,38 @@ class TestCheckCli:
         )
         # A faulted run must not poison the warm-start file.
         assert not (cache_dir / "analytic_cache.json").exists()
+
+
+class TestWorkerDeath:
+    """A dying pool worker must surface as a clear error, not a bare
+    BrokenProcessPool traceback.
+
+    The ``REPRO_CHECK_KILL_WORKER`` hook makes a pool child
+    ``os._exit(3)`` at the top of its batch — the abrupt-death shape of
+    a segfault or OOM kill.  The driver process is not a pool child, so
+    the hook is inert there.
+    """
+
+    def test_run_check_reports_worker_death(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_KILL_WORKER", "1")
+        with pytest.raises(ReproError, match="worker process died mid-batch"):
+            run_check(cases=6, seed=0, workers=2)
+
+    def test_check_main_clear_error_not_traceback(self, monkeypatch):
+        import io
+
+        monkeypatch.setenv("REPRO_CHECK_KILL_WORKER", "1")
+        out = io.StringIO()
+        rc = check_main(["--cases", "6", "--workers", "2"], out=out)
+        text = out.getvalue()
+        assert rc == 1
+        assert "worker process died mid-batch" in text
+        assert "--workers 1" in text  # actionable hint
+        assert "Traceback" not in text
+        assert "BrokenProcessPool" not in text
+
+    def test_kill_hook_inert_in_driver(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_KILL_WORKER", "1")
+        report = run_check(cases=2, seed=0, workers=1)
+        assert report["cases"] == 2
+        assert report["failed"] == 0

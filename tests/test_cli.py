@@ -219,6 +219,58 @@ class TestWorkersFlag:
         assert exc.value.code == 2
 
 
+class TestErrorPaths:
+    """Exit codes and messages on the CLI's failure edges."""
+
+    def test_bad_engine_rejected(self, ex8_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli([ex8_file, "-D", "N=12", "--simulate", "--engine", "warp"])
+        assert exc.value.code == 2
+        assert "invalid choice: 'warp'" in capsys.readouterr().err
+
+    def test_stdin_empty_input(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        code, out = run_cli(["-", "-p", "4"])
+        assert code == 1
+        assert out.startswith("error:")
+        assert "empty program" in out
+
+    def test_stdin_whitespace_only_input(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n\n  \n"))
+        code, out = run_cli(["-", "-p", "4"])
+        assert code == 1
+        assert out.startswith("error:")
+
+    def test_trace_out_without_simulate_is_note_not_error(
+        self, ex8_file, tmp_path
+    ):
+        path = tmp_path / "t.jsonl"
+        code, out = run_cli(
+            [ex8_file, "-p", "8", "-D", "N=12", "--trace-out", str(path)]
+        )
+        assert code == 0
+        assert "note: --trace-out has no effect without --simulate" in out
+        assert not path.exists()
+
+    def test_serve_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(["serve", "--workers", "0"])
+        assert exc.value.code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_queue_depth(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(["serve", "--queue-depth", "0"])
+        assert exc.value.code == 2
+        assert "--queue-depth must be >= 1" in capsys.readouterr().err
+
+    def test_loadgen_rejects_zero_clients(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(["loadgen", "--clients", "0"])
+        assert exc.value.code == 2
+        assert "--clients must be >= 1" in capsys.readouterr().err
+
+
 class TestCheckSubcommand:
     def test_check_dispatch(self):
         code, out = run_cli(["check", "--cases", "2", "--seed", "0"])

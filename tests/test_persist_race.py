@@ -1,0 +1,109 @@
+"""Concurrent-writer stress tests for the analytic-cache persistence.
+
+Two processes calling :func:`repro.lattice.persist.save_caches` into the
+same directory used to race: both read the same on-disk snapshot, merged
+their own (disjoint) entries, and the last ``os.replace`` silently
+dropped the first writer's keys.  The lockfile serialises the
+read-merge-write, so the union must always survive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.lattice import persist
+from repro.lattice.points import FootprintTable, LatticeCountCache
+
+
+def _synthetic_entries(writer: int, count: int) -> list[tuple[tuple, int]]:
+    """Disjoint-by-writer synthetic (key, value) pairs."""
+    return [((("w", writer, i), 1), writer * 10_000 + i) for i in range(count)]
+
+
+def _writer_proc(cache_dir: str, writer: int, count: int, barrier) -> None:
+    table = FootprintTable()
+    table.absorb_entries(_synthetic_entries(writer, count))
+    empty = LatticeCountCache()
+    barrier.wait()  # maximise overlap of the two read-merge-writes
+    for _ in range(5):
+        persist.save_caches(
+            cache_dir, footprint_table=table, lattice_cache=empty
+        )
+
+
+def test_two_writer_union_survives(tmp_path):
+    count = 200
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(2)
+    procs = [
+        ctx.Process(target=_writer_proc, args=(str(tmp_path), w, count, barrier))
+        for w in (1, 2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    merged = FootprintTable()
+    loaded = persist.load_caches(
+        str(tmp_path), footprint_table=merged, lattice_cache=LatticeCountCache()
+    )
+    assert loaded == 2 * count
+    on_disk = dict(merged.export_entries())
+    for writer in (1, 2):
+        for key, value in _synthetic_entries(writer, count):
+            assert on_disk[key] == value
+    # The lockfile is released afterwards.
+    assert not (tmp_path / persist.LOCK_FILENAME).exists()
+
+
+def test_save_merges_with_existing_file(tmp_path):
+    a = FootprintTable()
+    a.absorb_entries(_synthetic_entries(1, 10))
+    persist.save_caches(str(tmp_path), footprint_table=a, lattice_cache=LatticeCountCache())
+    b = FootprintTable()
+    b.absorb_entries(_synthetic_entries(2, 10))
+    written = persist.save_caches(
+        str(tmp_path), footprint_table=b, lattice_cache=LatticeCountCache()
+    )
+    assert written == 20
+
+
+def test_stale_lock_is_broken(tmp_path, monkeypatch):
+    lock = tmp_path / persist.LOCK_FILENAME
+    lock.write_text("99999")
+    stale = time.time() - persist.LOCK_STALE_S - 5
+    os.utime(lock, (stale, stale))
+    t = FootprintTable()
+    t.absorb_entries(_synthetic_entries(3, 3))
+    written = persist.save_caches(
+        str(tmp_path), footprint_table=t, lattice_cache=LatticeCountCache()
+    )
+    assert written == 3
+    assert not lock.exists()
+
+
+def test_fresh_lock_times_out(tmp_path):
+    (tmp_path / persist.LOCK_FILENAME).write_text("99999")
+    t = FootprintTable()
+    t.absorb_entries(_synthetic_entries(4, 1))
+    with pytest.raises(TimeoutError, match="held by another writer"):
+        with persist._CacheLock(tmp_path, timeout_s=0.3):
+            pass
+    # save_caches surfaces the same failure instead of corrupting.
+    started = time.monotonic()
+    with pytest.raises(TimeoutError):
+        orig = persist.LOCK_TIMEOUT_S
+        try:
+            persist.LOCK_TIMEOUT_S = 0.3
+            persist.save_caches(
+                str(tmp_path), footprint_table=t, lattice_cache=LatticeCountCache()
+            )
+        finally:
+            persist.LOCK_TIMEOUT_S = orig
+    assert time.monotonic() - started < 5

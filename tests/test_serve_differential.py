@@ -1,0 +1,105 @@
+"""Differential test: the service must return byte-identical reports to
+the CLI's ``--json-report`` (timings aside) for every ``examples/*.doall``
+program.
+
+This is the service's core contract — ``POST /v1/partition`` is the CLI
+pipeline behind a socket, not a reimplementation.  Normalisation strips
+exactly the run-dependent parts: per-span wall times (``duration_s``)
+and the analytic-cache statistics (hit/miss counts depend on process
+history).  Everything else — partition choice, predictions, simulator
+counts, span *structure* — must match to the byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.serve import EmbeddedServer, ServeClient, ServeConfig
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (file, bindings, processors) — sizes follow benchmarks/paper_programs.py.
+EXAMPLES = [
+    ("example2.doall", {}, 100),
+    ("example3.doall", {"N": 36}, 9),
+    ("example6.doall", {}, 25),
+    ("example8.doall", {"N": 24}, 8),
+    ("matmul.doall", {"N": 32}, 16),
+]
+
+#: Examples small enough to also validate with the machine simulator.
+SIMULATED = {"example3.doall", "matmul.doall"}
+
+
+def _normalize(report: dict) -> str:
+    def strip_spans(spans):
+        out = []
+        for s in spans:
+            s = dict(s)
+            s.pop("duration_s", None)
+            s.pop("peak_rss_kb", None)
+            if "children" in s:
+                s["children"] = strip_spans(s["children"])
+            out.append(s)
+        return out
+
+    doc = dict(report)
+    doc.pop("caches", None)
+    doc["spans"] = strip_spans(doc.get("spans", []))
+    return json.dumps(doc, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with EmbeddedServer(ServeConfig(port=0, workers=1)) as emb:
+        yield emb
+
+
+@pytest.mark.parametrize("filename,bindings,processors", EXAMPLES)
+def test_serve_matches_cli_json_report(
+    server, tmp_path, filename, bindings, processors
+):
+    path = EXAMPLES_DIR / filename
+    assert path.exists(), f"missing example program {path}"
+    simulate = filename in SIMULATED
+
+    report_path = tmp_path / "cli.json"
+    argv = [str(path), "-p", str(processors)]
+    for name, value in bindings.items():
+        argv += ["-D", f"{name}={value}"]
+    if simulate:
+        argv += ["--simulate"]
+    argv += ["--json-report", str(report_path)]
+    import io
+
+    assert cli_main(argv, out=io.StringIO()) == 0
+    cli_report = json.loads(report_path.read_text())
+
+    with ServeClient("127.0.0.1", server.port) as client:
+        serve_report = client.partition(
+            path.read_text(),
+            processors,
+            bindings=bindings or None,
+            simulate=simulate or None,
+            label=str(path),  # the CLI records argv's source path
+        )
+
+    assert _normalize(serve_report) == _normalize(cli_report)
+
+
+def test_normalization_is_not_vacuous(server):
+    """Guard the guard: _normalize must keep the load-bearing sections."""
+    path = EXAMPLES_DIR / "example3.doall"
+    with ServeClient("127.0.0.1", server.port) as client:
+        report = client.partition(
+            path.read_text(), 9, bindings={"N": 36}, label="x"
+        )
+    doc = json.loads(_normalize(report))
+    assert doc["partition"]["tile_sides"]
+    assert doc["predicted"]
+    assert doc["spans"], "span structure must survive normalisation"
+    assert all("duration_s" not in s for s in doc["spans"])

@@ -1,0 +1,128 @@
+"""Unit tests for the service wire protocol (validation + canonical keys)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_SOURCE_BYTES,
+    PartitionRequest,
+    ProtocolError,
+    error_payload,
+    validate_partition_request,
+)
+
+SOURCE = "Doall (i, 1, 8)\n  A[i] = B[i]\nEndDoall\n"
+
+
+def _body(**overrides) -> dict:
+    body = {"source": SOURCE, "processors": 4}
+    body.update(overrides)
+    return body
+
+
+class TestValidation:
+    def test_minimal_request_defaults(self):
+        r = validate_partition_request(_body())
+        assert r == PartitionRequest(source=SOURCE, processors=4)
+        assert r.method == "rectangular"
+        assert not r.simulate and r.sweeps == 1 and r.engine == "auto"
+
+    def test_full_request_roundtrip(self):
+        r = validate_partition_request(
+            _body(
+                bindings={"N": 24, "M": 3},
+                method="auto",
+                simulate=True,
+                sweeps=2,
+                engine="exact",
+                label="ex",
+                deadline_ms=5000,
+            )
+        )
+        assert r.bindings == (("M", 3), ("N", 24))  # sorted, hashable
+        assert r.to_dict()["bindings"] == {"M": 3, "N": 24}
+
+    @pytest.mark.parametrize(
+        "overrides,field",
+        [
+            ({"source": ""}, "source"),
+            ({"source": 7}, "source"),
+            ({"source": "x" * (MAX_SOURCE_BYTES + 1)}, "source"),
+            ({"processors": 0}, "processors"),
+            ({"processors": "four"}, "processors"),
+            ({"processors": True}, "processors"),
+            ({"bindings": [["N", 2]]}, "bindings"),
+            ({"bindings": {"N": "two"}}, "bindings"),
+            ({"bindings": {"": 2}}, "bindings"),
+            ({"method": "hexagonal"}, "method"),
+            ({"engine": "warp"}, "engine"),
+            ({"simulate": "yes"}, "simulate"),
+            ({"sweeps": 0}, "sweeps"),
+            ({"sweeps": 10_000}, "sweeps"),
+            ({"label": 9}, "label"),
+            ({"deadline_ms": 0}, "deadline_ms"),
+        ],
+    )
+    def test_field_errors_name_the_field(self, overrides, field):
+        with pytest.raises(ProtocolError) as exc:
+            validate_partition_request(_body(**overrides))
+        assert exc.value.status == 422
+        assert exc.value.field == field
+        assert exc.value.to_payload()["error"]["field"] == field
+
+    def test_missing_required_fields(self):
+        with pytest.raises(ProtocolError, match="required"):
+            validate_partition_request({"processors": 4})
+        with pytest.raises(ProtocolError, match="required"):
+            validate_partition_request({"source": SOURCE})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request field"):
+            validate_partition_request(_body(procesors=4))
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            validate_partition_request([1, 2])
+
+    def test_force_simulate_route(self):
+        r = validate_partition_request(_body(), force_simulate=True)
+        assert r.simulate
+        with pytest.raises(ProtocolError, match="cannot be false"):
+            validate_partition_request(_body(simulate=False), force_simulate=True)
+
+
+class TestCanonicalKey:
+    def test_key_ignores_deadline(self):
+        a = validate_partition_request(_body(deadline_ms=100))
+        b = validate_partition_request(_body(deadline_ms=60_000))
+        c = validate_partition_request(_body())
+        assert a.canonical_key == b.canonical_key == c.canonical_key
+
+    def test_key_includes_compute_inputs(self):
+        base = validate_partition_request(_body()).canonical_key
+        for overrides in (
+            {"processors": 8},
+            {"method": "auto"},
+            {"simulate": True},
+            {"sweeps": 2},
+            {"engine": "exact"},
+            {"label": "other"},
+            {"bindings": {"N": 2}},
+        ):
+            other = validate_partition_request(_body(**overrides))
+            assert other.canonical_key != base
+
+    def test_binding_order_irrelevant(self):
+        a = validate_partition_request(_body(bindings={"N": 1, "M": 2}))
+        b = validate_partition_request(_body(bindings={"M": 2, "N": 1}))
+        assert a.canonical_key == b.canonical_key
+
+
+def test_error_payload_shape():
+    assert error_payload("overloaded", "busy") == {
+        "error": {"code": "overloaded", "message": "busy"}
+    }
+    assert error_payload("invalid-request", "bad", field="sweeps")["error"][
+        "field"
+    ] == "sweeps"

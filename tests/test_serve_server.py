@@ -1,0 +1,268 @@
+"""End-to-end tests of the partition service over real sockets.
+
+An :class:`~repro.serve.server.EmbeddedServer` (the production
+:class:`PartitionServer` on a background thread) is exercised through
+the blocking :class:`~repro.serve.client.ServeClient` — the same path
+``repro loadgen`` uses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import EmbeddedServer, ServeClient, ServeConfig, ServeError
+
+FAST_SOURCE = "Doall (i, 1, 8)\n  A[i] = B[i]\nEndDoall\n"
+
+#: A request whose compute takes long enough to observe in-flight state.
+SLOW_SOURCE = (
+    "Doall (i, 1, N)\n"
+    "  Doall (j, 1, N)\n"
+    "    Doall (k, 1, N)\n"
+    "      A(i,j,k) = B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)\n"
+    "    EndDoall\n"
+    "  EndDoall\n"
+    "EndDoall\n"
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with EmbeddedServer(ServeConfig(port=0, workers=1)) as emb:
+        yield emb
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        h = client.healthz()
+        assert h["status"] == "ok"
+        assert h["workers"] == 1 and h["queue_depth"] == 64
+
+    def test_partition_report_shape(self, client):
+        report = client.partition(FAST_SOURCE, 4, label="fast")
+        assert report["schema"] == "repro.run-report"
+        assert report["program"]["source"] == "fast"
+        assert report["partition"]["method"] == "rectangular"
+        assert "measured" not in report  # simulate not requested
+
+    def test_simulate_route_forces_simulation(self, client):
+        report = client.simulate(FAST_SOURCE, 2, label="fast-sim")
+        assert "measured" in report
+        assert "miss_breakdown" in report["measured"]
+        assert "prediction_error" in report
+
+    def test_response_cache_hit_identical_body(self, client):
+        first = client.partition(FAST_SOURCE, 4, label="cache-me")
+        status_first = client.last_cache_status
+        second = client.partition(FAST_SOURCE, 4, label="cache-me")
+        assert client.last_cache_status == "hit"
+        assert status_first in ("miss", "hit")  # module-scoped server reuse
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_metrics_endpoint(self, client):
+        client.partition(FAST_SOURCE, 4, label="metrics-warmup")
+        m = client.metrics()
+        assert m["schema"] == "repro.serve-metrics"
+        names = {entry["name"] for entry in m["metrics"]}
+        assert "serve.requests" in names
+        assert "serve.responses" in names
+        assert "serve.latency_ms" in names
+        assert "serve.batches" in names
+        assert m["caches"]["lattice_cache"]["entries"] >= 0
+        assert m["server"]["status"] == "ok"
+
+    def test_404(self, client):
+        with pytest.raises(ServeError) as exc:
+            client.request("GET", "/nope")
+        assert exc.value.status == 404 and exc.value.code == "not-found"
+
+    def test_405(self, client):
+        with pytest.raises(ServeError) as exc:
+            client.request("POST", "/healthz", {})
+        assert exc.value.status == 405 and exc.value.code == "method-not-allowed"
+        with pytest.raises(ServeError) as exc:
+            client.request("GET", "/v1/partition")
+        assert exc.value.status == 405
+
+    def test_400_bad_json(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/partition", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+        finally:
+            conn.close()
+        assert resp.status == 400
+        assert payload["error"]["code"] == "invalid-request"
+        assert "not valid JSON" in payload["error"]["message"]
+
+    def test_422_names_field(self, client):
+        with pytest.raises(ServeError) as exc:
+            client.partition(FAST_SOURCE, 0)
+        assert exc.value.status == 422
+        assert exc.value.payload["error"]["field"] == "processors"
+
+    def test_pipeline_error_is_typed(self, client):
+        with pytest.raises(ServeError) as exc:
+            client.partition("Doall (i, 1, N)\n  A[i] = B[i]\nEndDoall\n", 4)
+        assert exc.value.code == "pipeline-error"
+        assert "N" in str(exc.value)  # unbound symbol named
+
+    def test_413_oversized_body(self, server):
+        import socket
+
+        # The server refuses on the Content-Length header alone, before
+        # the body arrives — so speak raw HTTP and never send the body.
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as s:
+            s.sendall(
+                b"POST /v1/partition HTTP/1.1\r\n"
+                b"Host: x\r\n"
+                b"Content-Length: %d\r\n\r\n" % ((1 << 20) + 1)
+            )
+            raw = b""
+            while b"\r\n\r\n" not in raw:
+                chunk = s.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.1 413 ")
+        assert b"exceeds" in raw
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_compute(self, server):
+        label = "coalesce-target"
+        statuses: list[str | None] = []
+        reports: list[dict] = []
+        lock = threading.Lock()
+
+        def fire():
+            with ServeClient("127.0.0.1", server.port) as c:
+                r = c.partition(
+                    SLOW_SOURCE, 8, bindings={"N": 18}, label=label
+                )
+                with lock:
+                    statuses.append(c.last_cache_status)
+                    reports.append(r)
+
+        threads = [threading.Thread(target=fire) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert len(reports) == 3
+        # The event loop serialises admission: exactly one request started
+        # the compute; the others coalesced onto it or hit the finished
+        # response in the cache.
+        assert statuses.count("miss") == 1
+        assert all(s in ("miss", "coalesced", "hit") for s in statuses)
+        bodies = {json.dumps(r, sort_keys=True) for r in reports}
+        assert len(bodies) == 1
+
+
+class TestBackpressure:
+    def test_429_when_admission_queue_full(self):
+        config = ServeConfig(port=0, workers=1, queue_depth=1)
+        with EmbeddedServer(config) as emb:
+            done = threading.Event()
+
+            def occupy():
+                with ServeClient("127.0.0.1", emb.port) as c:
+                    c.partition(SLOW_SOURCE, 8, bindings={"N": 20}, label="occupy")
+                done.set()
+
+            t = threading.Thread(target=occupy)
+            t.start()
+            # Wait until the slow request is admitted and in flight.
+            with ServeClient("127.0.0.1", emb.port) as c:
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if c.healthz()["inflight"] >= 1:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("slow request never became in-flight")
+                with pytest.raises(ServeError) as exc:
+                    c.partition(FAST_SOURCE, 4, label="rejected")
+                assert exc.value.status == 429
+                assert exc.value.code == "overloaded"
+                assert exc.value.retry_after is not None
+            t.join(timeout=120)
+            assert done.is_set()
+            # After the occupier finishes, admission opens again.
+            with ServeClient("127.0.0.1", emb.port) as c:
+                assert c.partition(FAST_SOURCE, 4, label="rejected")[
+                    "schema"
+                ] == "repro.run-report"
+
+
+class TestDeadlines:
+    def test_504_then_cached_result_on_retry(self, server):
+        with ServeClient("127.0.0.1", server.port) as c:
+            with pytest.raises(ServeError) as exc:
+                c.partition(
+                    SLOW_SOURCE, 8, bindings={"N": 16}, label="deadline",
+                    deadline_ms=1,
+                )
+            assert exc.value.status == 504
+            assert exc.value.code == "deadline-exceeded"
+            # The shielded computation kept running; the retry (same
+            # canonical key — deadline is excluded) coalesces or hits.
+            report = c.partition(
+                SLOW_SOURCE, 8, bindings={"N": 16}, label="deadline"
+            )
+            assert c.last_cache_status in ("coalesced", "hit")
+            assert report["schema"] == "repro.run-report"
+
+
+class TestWorkerDeath:
+    def test_worker_died_then_pool_replaced(self):
+        import os
+        import signal
+
+        with EmbeddedServer(ServeConfig(port=0, workers=1)) as emb:
+            with ServeClient("127.0.0.1", emb.port) as c:
+                c.partition(FAST_SOURCE, 4, label="before-death")
+                pool = emb.server._batcher._pool
+                for pid in list(pool._processes):
+                    os.kill(pid, signal.SIGKILL)
+                with pytest.raises(ServeError) as exc:
+                    c.partition(FAST_SOURCE, 8, label="during-death")
+                assert exc.value.status == 500
+                assert exc.value.code == "worker-died"
+                # The batcher replaced the pool: the service keeps serving.
+                report = c.partition(FAST_SOURCE, 8, label="after-death")
+                assert report["schema"] == "repro.run-report"
+                m = c.metrics()
+                deaths = [
+                    e for e in m["metrics"] if e["name"] == "serve.worker_deaths"
+                ]
+                assert deaths and deaths[0]["value"] >= 1
+
+
+class TestDrain:
+    def test_graceful_drain_closes_listener(self):
+        emb = EmbeddedServer(ServeConfig(port=0, workers=1)).start()
+        port = emb.port
+        with ServeClient("127.0.0.1", port) as c:
+            c.partition(FAST_SOURCE, 4, label="pre-drain")
+        emb.stop()
+        assert not emb._thread.is_alive()
+        with pytest.raises((ConnectionError, OSError)):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+            conn.request("GET", "/healthz")
+            conn.getresponse()
