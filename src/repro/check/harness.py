@@ -32,6 +32,7 @@ from ..lang.lower import lower_nest
 from ..lang.parser import parse_program
 from ..obs.log import configure_logging, get_logger
 from ..obs.report import build_check_report, dump_report
+from ..obs.tracing import span
 from ..sim import Machine, MachineConfig, simulate_nest
 from ..sim.trace import assign_tiles_to_processors, reference_streams
 from .corpus import load_corpus, spec_from_dict, spec_to_dict
@@ -284,7 +285,11 @@ def _run_task_batch(
                 spec = spec_from_dict(payload)
             else:
                 spec = generate_case(payload, seed, max_accesses=config.max_accesses)
-            art = run_case(spec, config)
+            # A named span per case: `repro check` pool workers share the
+            # tracing machinery the serve workers use, so per-case wall
+            # time is attributable in any profile of a check run.
+            with span("check.case", case_id=spec.case_id, origin=origin):
+                art = run_case(spec, config)
             entry = _failure_entry(spec, art, config, origin) if art.violations else None
             first = (
                 (art.violations[0].invariant, art.violations[0].detail)

@@ -26,7 +26,11 @@ table; ``--log-level`` enables structured diagnostics on stderr.
 ``python -m repro check --cases N --seed S [--corpus PATH]`` runs the
 differential self-check (:mod:`repro.check`) instead of the pipeline;
 ``python -m repro serve`` starts the long-lived partition service and
-``python -m repro loadgen`` drives load against one (:mod:`repro.serve`).
+``python -m repro loadgen`` drives load against one (:mod:`repro.serve`);
+``python -m repro top`` is a live terminal dashboard over a running
+server's ``/metrics`` + ``/debug`` endpoints and ``python -m repro trace
+show <file|id>`` pretty-prints a stitched span tree
+(:mod:`repro.cli_top`).
 """
 
 from __future__ import annotations
@@ -188,6 +192,14 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
         from .serve.loadgen import loadgen_main
 
         return loadgen_main(argv[1:], out=out)
+    if argv and argv[0] == "top":
+        from .cli_top import top_main
+
+        return top_main(argv[1:], out=out)
+    if argv and argv[0] == "trace":
+        from .cli_top import trace_main
+
+        return trace_main(argv[1:], out=out)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.trace_sample < 1:

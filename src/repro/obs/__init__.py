@@ -15,7 +15,10 @@ Everything the repository measures flows through this package:
   joining the paper's analytic prediction (:class:`~repro.core.cost.
   TrafficEstimate`) with the measured simulator counts, including
   prediction-error ratios;
-* :mod:`repro.obs.export` — a sampled per-access JSONL event trace;
+* :mod:`repro.obs.export` — a sampled per-access JSONL event trace, plus
+  the Prometheus text exposition renderer/parser behind ``/metrics``;
+* :mod:`repro.obs.flight` — the per-request flight recorder behind the
+  service's ``/debug`` endpoints, with cross-process trace stitching;
 * :mod:`repro.obs.log` — the ``repro`` stdlib-logging hierarchy.
 
 The package is dependency-free (stdlib only) so it can never constrain
@@ -23,7 +26,15 @@ where the analysis or simulator code runs.
 """
 
 from .log import configure_logging, get_logger
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyHistogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .flight import FlightRecord, FlightRecorder, format_span_tree, stitch_trace
 from .report import (
     CHECK_REPORT_SCHEMA,
     CHECK_REPORT_VERSION,
@@ -37,15 +48,28 @@ from .report import (
     load_report,
     validate_report,
 )
-from .export import EventTraceWriter
+from .export import (
+    EventTraceWriter,
+    PrometheusFormatError,
+    parse_prometheus_text,
+    prometheus_text,
+)
 from .tracing import Span, Tracer, get_tracer, span
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyHistogram",
     "MetricsRegistry",
     "get_registry",
+    "FlightRecord",
+    "FlightRecorder",
+    "format_span_tree",
+    "stitch_trace",
+    "PrometheusFormatError",
+    "parse_prometheus_text",
+    "prometheus_text",
     "Span",
     "Tracer",
     "get_tracer",

@@ -30,10 +30,19 @@ atomic and these are monitoring quantities.
 
 from __future__ import annotations
 
+import math
 import threading
+from bisect import bisect_left
 from typing import Iterator
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "get_registry",
+]
 
 #: One lock for every instrument and registry in the process (see module doc).
 _LOCK = threading.Lock()
@@ -236,6 +245,117 @@ class Histogram:
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
 
 
+#: Log-spaced latency bucket upper edges in milliseconds: sub-millisecond
+#: cache hits through minute-long exact-engine computes, ~2.2x apart.
+#: 17 buckets (+overflow) bound the memory of a histogram that previously
+#: grew one exact bin per distinct observed millisecond.
+DEFAULT_LATENCY_EDGES_MS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0, 120000.0,
+)
+
+
+class LatencyHistogram:
+    """Distribution over *fixed* log-spaced buckets (for latencies).
+
+    Unlike :class:`Histogram` (one exact bin per distinct integer —
+    unbounded for latencies, which take arbitrarily many distinct
+    values over a long-running server), this keeps a constant-size
+    cumulative bucket array plus interpolated quantiles, trading exact
+    bins for bounded memory.  Values are milliseconds by convention but
+    nothing enforces a unit.
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, labels: tuple = (), edges=DEFAULT_LATENCY_EDGES_MS):
+        self.name = name
+        self.labels = labels
+        self.edges = tuple(float(e) for e in edges)
+        if list(self.edges) != sorted(set(self.edges)):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.counts = [0] * (len(self.edges) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = 0.0
+
+    def observe(self, value) -> None:
+        v = float(value)
+        with _LOCK:
+            self.counts[bisect_left(self.edges, v)] += 1
+            self.count += 1
+            self.total += v
+            if v < self.vmin:
+                self.vmin = v
+            if v > self.vmax:
+                self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated q-quantile (q in [0, 1]); 0.0 when empty."""
+        with _LOCK:
+            count, counts = self.count, list(self.counts)
+            vmin, vmax = self.vmin, self.vmax
+        if not count:
+            return 0.0
+        rank = q * count
+        cum = 0.0
+        prev_edge = 0.0
+        for edge, c in zip(self.edges, counts):
+            if c and cum + c >= rank:
+                lower = max(prev_edge, min(vmin, edge))
+                upper = min(edge, vmax)
+                frac = (rank - cum) / c
+                return lower + frac * max(upper - lower, 0.0)
+            cum += c
+            prev_edge = edge
+        return vmax  # rank landed in the overflow bucket
+
+    def reset(self) -> None:
+        with _LOCK:
+            self.counts = [0] * (len(self.edges) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.vmin = math.inf
+            self.vmax = 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_edge, cumulative_count)`` pairs, ending at (+inf, count)."""
+        with _LOCK:
+            counts = list(self.counts)
+        out = []
+        cum = 0
+        for edge, c in zip(self.edges, counts):
+            cum += c
+            out.append((edge, cum))
+        out.append((math.inf, cum + counts[-1]))
+        return out
+
+    def to_dict(self) -> dict:
+        with _LOCK:
+            count, total, vmax = self.count, self.total, self.vmax
+        return {
+            "count": count,
+            "sum": round(total, 6),
+            "mean": round(total / count, 6) if count else 0.0,
+            "p50": round(self.quantile(0.50), 3),
+            "p95": round(self.quantile(0.95), 3),
+            "p99": round(self.quantile(0.99), 3),
+            "max": round(vmax, 3),
+            "buckets": [
+                {"le": ("+Inf" if math.isinf(edge) else edge), "count": cum}
+                for edge, cum in self.cumulative_buckets()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"LatencyHistogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
 class MetricsRegistry:
     """Get-or-create store of instruments keyed by ``(name, labels)``."""
 
@@ -265,6 +385,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get(Histogram, name, labels)
+
+    def latency_histogram(self, name: str, **labels) -> LatencyHistogram:
+        return self._get(LatencyHistogram, name, labels)
 
     def _items(self) -> list:
         """A consistent point-in-time copy of the instrument map."""
@@ -315,6 +438,9 @@ class MetricsRegistry:
                 entry["type"] = "gauge"
                 entry["value"] = m.value
             else:
+                # Histogram and LatencyHistogram both report type
+                # "histogram"; the exact-bin form carries "bins", the
+                # fixed-bucket form "buckets" + quantiles.
                 entry["type"] = "histogram"
                 entry.update(m.to_dict())
             out.append(entry)

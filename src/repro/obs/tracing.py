@@ -17,8 +17,19 @@ mark — monotone across spans, useful for spotting *which* phase first
 pushed memory up).
 
 The process-local default tracer is always on; completed root spans are
-kept in a bounded deque so long-running processes (the benchmark suite
-simulates thousands of nests) never accumulate unbounded trace state.
+kept in an explicit ring (``max_roots``) so long-running processes (the
+benchmark suite simulates thousands of nests, a ``repro serve`` worker
+lives for days) never accumulate unbounded trace state.  Evictions are
+*counted* — :attr:`Tracer.roots_evicted` and the ``tracing.roots_evicted``
+registry counter — so a serve run that loses recent traces does it with a
+signal, not silently.
+
+Hot call sites (the exact lattice enumeration kernels run thousands of
+times inside one ``optimize.rectangular``) use *aggregated* spans
+(``span("lattice.count_images", aggregate=True)``): repeated occurrences
+under the same parent merge into one child whose duration accumulates and
+whose ``calls`` attribute counts occurrences, keeping traces bounded while
+still attributing the time.
 """
 
 from __future__ import annotations
@@ -35,6 +46,23 @@ except ImportError:  # pragma: no cover
     _resource = None
 
 __all__ = ["Span", "Tracer", "get_tracer", "span"]
+
+
+def _agg_map(parent: Span) -> dict[str, "Span"]:
+    """Per-parent registry of aggregated children (lazily attached)."""
+    m = getattr(parent, "_agg", None)
+    if m is None:
+        m = {}
+        parent._agg = m
+    return m
+
+
+def _evictions_counter():
+    # Imported lazily: metrics never imports tracing, but keeping the
+    # dependency out of module import time lets either load first.
+    from .metrics import get_registry
+
+    return get_registry().counter("tracing.roots_evicted")
 
 
 def _peak_rss_kb() -> int | None:
@@ -85,17 +113,26 @@ class Span:
 class Tracer:
     """Collects a process-local tree of completed spans.
 
-    ``max_roots`` bounds retention: only the most recent completed
-    top-level spans are kept (children live inside their root).
+    ``max_roots`` bounds retention as an explicit ring: when a new root
+    completes past the bound, the *oldest* root is evicted (children live
+    inside their root) and the eviction is counted — locally in
+    :attr:`roots_evicted` and in the process registry's
+    ``tracing.roots_evicted`` counter — so long serve runs cannot lose
+    recent traces without a signal.
     """
 
     def __init__(self, *, profile_memory: bool = False, max_roots: int = 4096):
+        if max_roots < 1:
+            raise ValueError(f"max_roots must be >= 1, got {max_roots}")
         self.profile_memory = profile_memory and _resource is not None
-        self.roots: deque[Span] = deque(maxlen=max_roots)
+        self.max_roots = max_roots
+        self.roots: deque[Span] = deque()
+        self.roots_evicted = 0
         self._stack: list[Span] = []
+        self._root_agg: dict[str, Span] = {}
 
     @contextmanager
-    def span(self, name: str, **attrs):
+    def span(self, name: str, aggregate: bool = False, **attrs):
         s = Span(name=name, start=time.perf_counter(), attrs=attrs)
         self._stack.append(s)
         try:
@@ -110,10 +147,34 @@ class Tracer:
             if self._stack:
                 self._stack.pop()
             parent = self._stack[-1] if self._stack else None
-            if parent is not None:
+            if aggregate and self._merge_aggregate(parent, s):
+                pass  # folded into an existing sibling of the same name
+            elif parent is not None:
                 parent.children.append(s)
             else:
-                self.roots.append(s)
+                self._append_root(s)
+
+    def _merge_aggregate(self, parent: Span | None, s: Span) -> bool:
+        """Fold ``s`` into an existing aggregated sibling; False = first."""
+        agg_map = self._root_agg if parent is None else _agg_map(parent)
+        existing = agg_map.get(s.name)
+        if existing is not None:
+            existing.end = (existing.end or existing.start) + s.duration
+            existing.attrs["calls"] += 1
+            if s.peak_rss_kb is not None:
+                existing.peak_rss_kb = max(existing.peak_rss_kb or 0, s.peak_rss_kb)
+            return True
+        s.attrs["calls"] = 1
+        agg_map[s.name] = s
+        return False
+
+    def _append_root(self, s: Span) -> None:
+        self.roots.append(s)
+        while len(self.roots) > self.max_roots:
+            evicted = self.roots.popleft()
+            self._root_agg.pop(evicted.name, None)
+            self.roots_evicted += 1
+            _evictions_counter().inc()
 
     def enable_memory_profiling(self, on: bool = True) -> None:
         self.profile_memory = bool(on) and _resource is not None
@@ -121,6 +182,7 @@ class Tracer:
     def reset(self) -> None:
         self.roots.clear()
         self._stack.clear()
+        self._root_agg.clear()
 
     def walk(self) -> Iterator[Span]:
         """Every completed span, depth-first across roots."""
@@ -151,6 +213,6 @@ def get_tracer() -> Tracer:
     return _tracer
 
 
-def span(name: str, **attrs):
+def span(name: str, aggregate: bool = False, **attrs):
     """Open a span on the default tracer (context manager)."""
-    return _tracer.span(name, **attrs)
+    return _tracer.span(name, aggregate=aggregate, **attrs)

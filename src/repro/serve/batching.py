@@ -20,6 +20,7 @@ service.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
@@ -43,6 +44,7 @@ class MicroBatcher:
         cache_dir: str | None = None,
         window_s: float = 0.002,
         max_batch: int = 8,
+        ship_traces: bool = True,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -50,8 +52,9 @@ class MicroBatcher:
         self.cache_dir = cache_dir
         self.window_s = window_s
         self.max_batch = max_batch
+        self.ship_traces = ship_traces
         self._pool: ProcessPoolExecutor | None = None
-        self._pending: list[tuple[PartitionRequest, asyncio.Future]] = []
+        self._pending: list[tuple[PartitionRequest, str | None, float, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
         self._dispatches: set[asyncio.Task] = set()
         self._metrics = get_registry()
@@ -78,7 +81,7 @@ class MicroBatcher:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        for _, future in self._pending:
+        for _, _, _, future in self._pending:
             if not future.done():
                 future.set_exception(
                     ProtocolError("server shutting down", code="shutting-down", status=503)
@@ -89,17 +92,24 @@ class MicroBatcher:
             self._pool = None
 
     # -- submission ------------------------------------------------------
-    async def submit(self, request: PartitionRequest) -> dict:
-        """Queue ``request`` and await its run report.
+    async def submit(
+        self, request: PartitionRequest, request_id: str | None = None
+    ) -> tuple[dict, dict]:
+        """Queue ``request`` and await ``(report, meta)``.
 
-        Raises :class:`~repro.serve.protocol.ProtocolError` when the
-        pipeline (or the pool) failed the request.
+        ``meta`` is the worker's compute telemetry (``worker_pid``,
+        ``compute_ms``, serialized ``spans``) plus the queue time this
+        request spent between submission and pool pickup.  Raises
+        :class:`~repro.serve.protocol.ProtocolError` when the pipeline
+        (or the pool) failed the request; the same meta rides on the
+        exception as ``e.compute_meta`` so errored requests still leave
+        a flight record with a latency breakdown.
         """
         if self._pool is None:
             raise RuntimeError("MicroBatcher.submit before start()")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((request, future))
+        self._pending.append((request, request_id, time.perf_counter(), future))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._timer is None:
@@ -118,13 +128,19 @@ class MicroBatcher:
         task.add_done_callback(self._dispatches.discard)
 
     # -- dispatch --------------------------------------------------------
-    async def _dispatch(self, batch: list[tuple[PartitionRequest, asyncio.Future]]) -> None:
+    async def _dispatch(
+        self,
+        batch: list[tuple[PartitionRequest, str | None, float, asyncio.Future]],
+    ) -> None:
         loop = asyncio.get_running_loop()
         self._metrics.counter("serve.batches").inc()
         self._metrics.histogram("serve.batch_size").observe(len(batch))
         try:
             outcomes, lattice_entries, footprint_entries = await loop.run_in_executor(
-                self._pool, run_batch, [request for request, _ in batch]
+                self._pool,
+                run_batch,
+                [(request, rid) for request, rid, _, _ in batch],
+                self.ship_traces,
             )
         except BrokenProcessPool:
             logger.error(
@@ -137,7 +153,7 @@ class MicroBatcher:
             # The broken pool cannot run anything again; reap its children
             # without blocking the loop on their exit.
             broken.shutdown(wait=False, cancel_futures=True)
-            for _, future in batch:
+            for _, _, _, future in batch:
                 if not future.done():
                     future.set_exception(
                         ProtocolError(
@@ -149,7 +165,7 @@ class MicroBatcher:
                     )
             return
         except Exception as e:  # pragma: no cover - defensive
-            for _, future in batch:
+            for _, _, _, future in batch:
                 if not future.done():
                     future.set_exception(
                         ProtocolError(
@@ -161,18 +177,25 @@ class MicroBatcher:
             return
         DEFAULT_LATTICE_CACHE.absorb_entries(lattice_entries)
         DEFAULT_FOOTPRINT_TABLE.absorb_entries(footprint_entries)
-        for (_, future), (kind, payload) in zip(batch, outcomes):
+        now = time.perf_counter()
+        for (_, _, submitted, future), (kind, payload, meta) in zip(batch, outcomes):
             if future.done():
                 continue
+            # Wall time from submit to result, minus worker-measured
+            # compute: everything spent in the batch window, the pool's
+            # call queue, and behind batch-mates.
+            compute_ms = meta.get("compute_s", 0.0) * 1000.0
+            meta["compute_ms"] = round(compute_ms, 3)
+            meta["queue_ms"] = round(max((now - submitted) * 1000.0 - compute_ms, 0.0), 3)
             if kind == "ok":
-                future.set_result(payload)
+                future.set_result((payload, meta))
             else:
                 err = payload.get("error", {})
-                future.set_exception(
-                    ProtocolError(
-                        err.get("message", "pipeline failed"),
-                        code=err.get("code", "internal-error"),
-                        status=payload.get("status", 500),
-                        field=err.get("field"),
-                    )
+                exc = ProtocolError(
+                    err.get("message", "pipeline failed"),
+                    code=err.get("code", "internal-error"),
+                    status=payload.get("status", 500),
+                    field=err.get("field"),
                 )
+                exc.compute_meta = meta
+                future.set_exception(exc)

@@ -45,6 +45,8 @@ class ServeClient:
         self._conn: http.client.HTTPConnection | None = None
         #: Cache disposition of the last compute call (miss/hit/coalesced).
         self.last_cache_status: str | None = None
+        #: Request id the server echoed (or minted) for the last call.
+        self.last_request_id: str | None = None
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
@@ -64,13 +66,30 @@ class ServeClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        request_id: str | None = None,
+        accept: str | None = None,
+        raw_body: bool = False,
+    ) -> dict | str:
+        """One round trip.  ``request_id`` travels as the
+        ``X-Repro-Request-Id`` header (never in the body — the request
+        schema is strict); ``accept``/``raw_body`` fetch non-JSON
+        responses such as the Prometheus ``/metrics`` exposition."""
         conn = self._connection()
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers["X-Repro-Request-Id"] = request_id
+        if accept is not None:
+            headers["Accept"] = accept
         try:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
@@ -83,12 +102,15 @@ class ServeClient:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+        self.last_cache_status = response.getheader("X-Repro-Cache")
+        self.last_request_id = response.getheader("X-Repro-Request-Id")
+        if raw_body and response.status == 200:
+            return raw.decode("utf-8")
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except json.JSONDecodeError as e:
             raise ServeError(response.status, {"error": {
                 "code": "bad-response", "message": f"undecodable body: {e}"}}) from None
-        self.last_cache_status = response.getheader("X-Repro-Cache")
         if response.status != 200:
             err = ServeError(response.status, decoded)
             retry_after = response.getheader("Retry-After")
@@ -101,18 +123,25 @@ class ServeClient:
         return decoded
 
     # -- endpoints -------------------------------------------------------
-    def partition(self, source: str, processors: int, **options) -> dict:
+    def partition(
+        self, source: str, processors: int, *, request_id: str | None = None, **options
+    ) -> dict:
         """``POST /v1/partition``; options mirror the request schema
         (``bindings``, ``method``, ``simulate``, ``sweeps``, ``engine``,
-        ``label``, ``deadline_ms``)."""
+        ``label``, ``deadline_ms``).  ``request_id`` tags the request for
+        end-to-end tracing (``/debug/requests/<id>``)."""
         return self.request(
-            "POST", "/v1/partition", _request_body(source, processors, **options)
+            "POST", "/v1/partition", _request_body(source, processors, **options),
+            request_id=request_id,
         )
 
-    def simulate(self, source: str, processors: int, **options) -> dict:
+    def simulate(
+        self, source: str, processors: int, *, request_id: str | None = None, **options
+    ) -> dict:
         """``POST /v1/simulate`` (partition + machine-simulator validation)."""
         return self.request(
-            "POST", "/v1/simulate", _request_body(source, processors, **options)
+            "POST", "/v1/simulate", _request_body(source, processors, **options),
+            request_id=request_id,
         )
 
     def healthz(self) -> dict:
@@ -120,6 +149,24 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` in Prometheus text exposition format."""
+        return self.request(
+            "GET", "/metrics", accept="text/plain", raw_body=True
+        )
+
+    def debug_requests(self) -> dict:
+        """``GET /debug/requests`` — the flight recorder's recent view."""
+        return self.request("GET", "/debug/requests")
+
+    def debug_request(self, request_id: str) -> dict:
+        """``GET /debug/requests/<id>`` — record + stitched trace."""
+        return self.request("GET", f"/debug/requests/{request_id}")
+
+    def debug_inflight(self) -> dict:
+        """``GET /debug/inflight`` — requests currently being served."""
+        return self.request("GET", "/debug/inflight")
 
 
 class AsyncServeClient:
@@ -131,6 +178,7 @@ class AsyncServeClient:
         self._reader = None
         self._writer = None
         self.last_cache_status: str | None = None
+        self.last_request_id: str | None = None
 
     async def _connect(self) -> None:
         if self._writer is None:
@@ -155,14 +203,25 @@ class AsyncServeClient:
     async def __aexit__(self, *exc) -> None:
         await self.close()
 
-    async def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> dict:
         await self._connect()
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        id_header = (
+            f"X-Repro-Request-Id: {request_id}\r\n" if request_id is not None else ""
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Content-Type: application/json\r\n"
+            f"{id_header}"
             "Connection: keep-alive\r\n\r\n"
         ).encode("latin-1")
         self._writer.write(head + body)
@@ -187,6 +246,7 @@ class AsyncServeClient:
             await self.close()
         decoded = json.loads(raw.decode("utf-8")) if raw else {}
         self.last_cache_status = headers.get("x-repro-cache")
+        self.last_request_id = headers.get("x-repro-request-id")
         if status != 200:
             err = ServeError(status, decoded)
             if "retry-after" in headers:
@@ -197,14 +257,20 @@ class AsyncServeClient:
             raise err
         return decoded
 
-    async def partition(self, source: str, processors: int, **options) -> dict:
+    async def partition(
+        self, source: str, processors: int, *, request_id: str | None = None, **options
+    ) -> dict:
         return await self.request(
-            "POST", "/v1/partition", _request_body(source, processors, **options)
+            "POST", "/v1/partition", _request_body(source, processors, **options),
+            request_id=request_id,
         )
 
-    async def simulate(self, source: str, processors: int, **options) -> dict:
+    async def simulate(
+        self, source: str, processors: int, *, request_id: str | None = None, **options
+    ) -> dict:
         return await self.request(
-            "POST", "/v1/simulate", _request_body(source, processors, **options)
+            "POST", "/v1/simulate", _request_body(source, processors, **options),
+            request_id=request_id,
         )
 
     async def healthz(self) -> dict:

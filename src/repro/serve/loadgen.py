@@ -12,6 +12,14 @@ run.
 429 (overload) responses are retried after the server's ``Retry-After``
 hint and counted separately; anything else non-200 is an error, and any
 error fails the run (exit 1).
+
+Every request carries a unique ``X-Repro-Request-Id``
+(``loadgen-<run>-<n>``) so a slow outlier found in the report can be
+looked up on the server with ``/debug/requests/<id>`` or ``repro trace
+show``.  After the run, the server's own ``latency_ms`` histogram is
+scraped and its p50/p95/p99 reported next to the client-side numbers —
+queueing inside the server that the client cannot see (batch windows,
+pool backlog) shows up as the gap between the two.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import sys
 import tempfile
 import threading
 import time
+import uuid
 
 from .client import ServeClient, ServeError
 
@@ -129,6 +138,7 @@ def run_loadgen(
     errors: list[dict] = []
     retries = 0
     cache_hits = 0
+    run_id = uuid.uuid4().hex[:8]
 
     def take() -> int | None:
         nonlocal next_index
@@ -158,6 +168,7 @@ def run_loadgen(
                             simulate=simulate or None,
                             label=label,
                             deadline_ms=deadline_ms,
+                            request_id=f"loadgen-{run_id}-{i}",
                         )
                         with lock:
                             latencies.append(time.perf_counter() - t0)
@@ -194,7 +205,9 @@ def run_loadgen(
     wall_s = time.perf_counter() - t_start
 
     ok = sorted(latencies)
+    server_latency = _server_latency(host, port)
     return {
+        "server_latency_ms": server_latency,
         "clients": clients,
         "requests": requests,
         "completed": len(ok),
@@ -211,6 +224,36 @@ def run_loadgen(
             "max": (ok[-1] * 1000) if ok else 0.0,
         },
     }
+
+
+def _server_latency(host: str, port: int) -> dict | None:
+    """Scrape the server's own latency histogram for ``/v1/partition``.
+
+    The server-side quantiles include queueing the client never sees
+    (batch window, pool backlog) but exclude client→server network and
+    connection setup; a healthy gap between the two views is small.
+    Returns ``None`` when the server is unreachable or has no samples.
+    """
+    try:
+        with ServeClient(host, port, timeout=10.0) as client:
+            dump = client.metrics()
+    except (ServeError, OSError):
+        return None
+    for entry in dump.get("metrics", []):
+        if (
+            entry.get("name") == "serve.latency_ms"
+            and entry.get("labels", {}).get("endpoint") == "/v1/partition"
+            and entry.get("count")
+        ):
+            return {
+                "count": entry["count"],
+                "mean": entry["mean"],
+                "p50": entry["p50"],
+                "p95": entry["p95"],
+                "p99": entry["p99"],
+                "max": entry["max"],
+            }
+    return None
 
 
 def spawn_server(
@@ -347,6 +390,14 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
         f"p99 {lat['p99']:.1f}  max {lat['max']:.1f}",
         file=out,
     )
+    server_lat = stats.get("server_latency_ms")
+    if server_lat:
+        print(
+            f"server-side latency ms (from /metrics histogram): "
+            f"p50 {server_lat['p50']:.1f}  p95 {server_lat['p95']:.1f}  "
+            f"p99 {server_lat['p99']:.1f}  over {server_lat['count']} requests",
+            file=out,
+        )
     for err in stats["errors"][:10]:
         print(
             f"  error: request {err['request']} ({err['label']}): "

@@ -16,9 +16,19 @@ accumulate across requests), and analytic-cache entries computed by the
 worker are shipped back *incrementally* so the parent can persist them
 and warm future workers without re-serialising the whole table on every
 batch.
+
+Each batch item carries the request id the server minted, and each
+outcome returns a *compute meta* — worker pid, measured compute seconds,
+and (when trace shipping is on) the serialized span trees the request
+produced, with the request id stamped on every root — so the server can
+stitch one cross-process trace per request without the report body
+changing by a byte.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 from ..core.partitioner import LoopPartitioner
 from ..exceptions import ReproError
@@ -119,30 +129,59 @@ def _fresh_entries(cache, shipped: set) -> list:
     return fresh
 
 
-def run_batch(requests: list[PartitionRequest]) -> tuple[list[tuple[str, dict]], list, list]:
+def _compute_meta(request_id: str | None, compute_s: float, ship_traces: bool) -> dict:
+    """Per-request telemetry shipped back alongside the outcome.
+
+    The span trees are re-serialized from the tracer (independent dicts
+    from the ones embedded in the report) and stamped with the request
+    id, so stitching never mutates — or depends on — the report body.
+    """
+    meta: dict = {
+        "request_id": request_id,
+        "worker_pid": os.getpid(),
+        "compute_s": compute_s,
+    }
+    if ship_traces:
+        spans = get_tracer().to_dicts()
+        if request_id is not None:
+            for root in spans:
+                root.setdefault("attrs", {})["request_id"] = request_id
+        meta["spans"] = spans
+    return meta
+
+
+def run_batch(
+    items: list[tuple[PartitionRequest, str | None]],
+    ship_traces: bool = True,
+) -> tuple[list[tuple[str, dict, dict]], list, list]:
     """Execute a micro-batch of requests in this worker process.
 
+    ``items`` pairs each request with the server-minted request id.
     Returns ``(outcomes, new_lattice_entries, new_footprint_entries)``
-    where each outcome is ``("ok", report)`` or ``("error", payload)``
-    with ``payload`` in the protocol's error shape plus a ``status`` the
-    server strips before sending.  Exceptions never escape: one poisoned
-    request must not take down its batch-mates (their futures would all
-    fail) or the worker.
+    where each outcome is ``("ok", report, meta)`` or
+    ``("error", payload, meta)`` with ``payload`` in the protocol's
+    error shape plus a ``status`` the server strips before sending, and
+    ``meta`` the telemetry of :func:`_compute_meta`.  Exceptions never
+    escape: one poisoned request must not take down its batch-mates
+    (their futures would all fail) or the worker.
     """
-    outcomes: list[tuple[str, dict]] = []
-    for request in requests:
+    outcomes: list[tuple[str, dict, dict]] = []
+    for request, request_id in items:
+        t0 = time.perf_counter()
         try:
-            outcomes.append(("ok", execute_request(request)))
+            kind, payload = "ok", execute_request(request)
         except ProtocolError as e:
             payload = e.to_payload()
             payload["status"] = e.status
-            outcomes.append(("error", payload))
+            kind = "error"
         except Exception as e:  # pragma: no cover - worker safety net
             from .protocol import error_payload
 
             payload = error_payload("internal-error", f"{type(e).__name__}: {e}")
             payload["status"] = 500
-            outcomes.append(("error", payload))
+            kind = "error"
+        meta = _compute_meta(request_id, time.perf_counter() - t0, ship_traces)
+        outcomes.append((kind, payload, meta))
     return (
         outcomes,
         _fresh_entries(DEFAULT_LATTICE_CACHE, _shipped_lattice),

@@ -20,6 +20,7 @@ exists.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "ProtocolError",
     "PartitionRequest",
     "validate_partition_request",
+    "validate_request_id",
     "error_payload",
 ]
 
@@ -136,6 +138,31 @@ class PartitionRequest:
         if self.deadline_ms is not None:
             out["deadline_ms"] = self.deadline_ms
         return out
+
+
+#: Caller-supplied request ids (``X-Repro-Request-Id``): tight charset so
+#: ids are safe to echo in headers, URLs (``/debug/requests/<id>``) and
+#: logs without quoting, bounded so a hostile client cannot bloat the
+#: flight recorder.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def validate_request_id(value: str | None) -> str | None:
+    """Validate an inbound request id header (``None`` passes through).
+
+    Raises :class:`ProtocolError` (status 400) on a malformed id rather
+    than silently minting a replacement — a caller that sets the header
+    wants correlation, and a silently changed id would break it.
+    """
+    if value is None:
+        return None
+    if not _REQUEST_ID_RE.match(value):
+        raise ProtocolError(
+            "X-Repro-Request-Id must be 1-128 characters of [A-Za-z0-9._-]",
+            code="invalid-request",
+            status=400,
+        )
+    return value
 
 
 def _require(condition: bool, message: str, *, field: str | None = None) -> None:

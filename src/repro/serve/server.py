@@ -10,7 +10,23 @@ amortised across requests:
 * ``POST /v1/simulate`` — same request shape with ``simulate`` forced on;
 * ``GET /healthz`` — liveness + admission-queue state;
 * ``GET /metrics`` — the process :class:`~repro.obs.metrics.MetricsRegistry`
-  snapshot plus analytic-cache statistics.
+  snapshot plus analytic-cache statistics as JSON, or Prometheus text
+  exposition when the ``Accept`` header asks for ``text/plain``;
+* ``GET /debug/requests`` — the flight recorder's recent requests
+  (newest first) plus the pinned slowest exemplars;
+* ``GET /debug/requests/<id>`` — one request's record and its stitched
+  cross-process span tree;
+* ``GET /debug/inflight`` — requests currently being served.
+
+Every request gets a **request id** — caller-supplied via the
+``X-Repro-Request-Id`` header or minted here — which is echoed back in
+the response header, threaded to the pool worker that runs the compute,
+stamped onto the worker's span trees, and used to stitch one
+Dapper-style trace per request (server-side ``serve.queue`` /
+``serve.compute`` timing around the worker's ``optimize.*`` /
+``lattice.*`` spans).  Ids ride in headers, never in bodies: response
+bodies stay byte-identical to the CLI's, which the response cache and
+``tests/test_serve_differential.py`` rely on.
 
 Production semantics, in the order a request meets them:
 
@@ -50,18 +66,28 @@ import signal
 import sys
 import threading
 import time
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from .. import __version__
 from ..lattice import analytic_cache_stats
-from ..obs import configure_logging, get_logger, get_registry
+from ..obs import (
+    FlightRecorder,
+    configure_logging,
+    get_logger,
+    get_registry,
+    prometheus_text,
+    stitch_trace,
+)
+from ..obs.export import PROMETHEUS_CONTENT_TYPE
 from .batching import MicroBatcher
 from .protocol import (
     MAX_BODY_BYTES,
     ProtocolError,
     error_payload,
     validate_partition_request,
+    validate_request_id,
 )
 
 __all__ = ["ServeConfig", "PartitionServer", "EmbeddedServer", "serve_main"]
@@ -69,7 +95,8 @@ __all__ = ["ServeConfig", "PartitionServer", "EmbeddedServer", "serve_main"]
 logger = get_logger("serve.server")
 
 _POST_ROUTES = ("/v1/partition", "/v1/simulate")
-_GET_ROUTES = ("/healthz", "/metrics")
+_GET_ROUTES = ("/healthz", "/metrics", "/debug/requests", "/debug/inflight")
+_DEBUG_REQUEST_PREFIX = "/debug/requests/"
 
 
 @dataclass(frozen=True)
@@ -87,6 +114,10 @@ class ServeConfig:
     deadline_ms: int = 60_000
     drain_s: float = 10.0
     port_file: str | None = None
+    slo_p99_ms: float = 1000.0
+    slo_error_rate: float = 0.01
+    flight_capacity: int = 512
+    trace_requests: bool = True  # ship worker span trees back per request
 
 
 class _HttpError(Exception):
@@ -154,17 +185,30 @@ async def _read_request(reader: asyncio.StreamReader):
     return method, path.split("?", 1)[0], headers, body
 
 
+@dataclass(frozen=True)
+class _TextPayload:
+    """A non-JSON response body (Prometheus text exposition)."""
+
+    text: str
+    content_type: str = PROMETHEUS_CONTENT_TYPE
+
+
 def _encode_response(
     status: int,
-    payload: dict,
+    payload,
     *,
     keep_alive: bool,
     extra_headers: dict[str, str] | None = None,
 ) -> bytes:
-    body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+    if isinstance(payload, _TextPayload):
+        body = payload.text.encode("utf-8")
+        content_type = payload.content_type
+    else:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        content_type = "application/json"
     lines = [
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Server: repro-serve/{__version__}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
@@ -191,8 +235,10 @@ class PartitionServer:
             cache_dir=self.config.cache_dir,
             window_s=self.config.batch_window_ms / 1000.0,
             max_batch=self.config.max_batch,
+            ship_traces=self.config.trace_requests,
         )
         self._metrics = get_registry()
+        self._flight = FlightRecorder(max(self.config.flight_capacity, 1))
         self._admitted = 0  # unique computations queued or running
         self._inflight: dict[tuple, asyncio.Task] = {}
         self._response_cache: OrderedDict[tuple, dict] = OrderedDict()
@@ -303,7 +349,7 @@ class PartitionServer:
                     break
                 method, path, headers, body = parsed
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                status, payload, extra = await self._route(method, path, body)
+                status, payload, extra = await self._route(method, path, headers, body)
                 writer.write(
                     _encode_response(
                         status, payload, keep_alive=keep_alive, extra_headers=extra
@@ -323,47 +369,148 @@ class PartitionServer:
                 pass
 
     # -- routing ---------------------------------------------------------
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(self, method: str, path: str, headers: dict[str, str], body: bytes):
         """Dispatch one request; returns ``(status, payload, extra_headers)``."""
-        endpoint = path if path in _POST_ROUTES + _GET_ROUTES else "other"
+        if path.startswith(_DEBUG_REQUEST_PREFIX):
+            endpoint = "/debug/requests/<id>"
+        else:
+            endpoint = path if path in _POST_ROUTES + _GET_ROUTES else "other"
         self._metrics.counter("serve.requests", endpoint=endpoint).inc()
         t0 = time.perf_counter()
         extra: dict[str, str] = {}
+        is_compute = path in _POST_ROUTES
+        record = meta = None
+        error_code = None
         try:
-            if path in _GET_ROUTES:
+            request_id = validate_request_id(headers.get("x-repro-request-id"))
+            if request_id is None:
+                request_id = uuid.uuid4().hex[:16]
+            extra["X-Repro-Request-Id"] = request_id
+            if is_compute:
+                record = self._flight.begin(request_id, endpoint)
+            if path in _GET_ROUTES or endpoint == "/debug/requests/<id>":
                 if method != "GET":
                     raise ProtocolError(
                         f"{path} only supports GET", code="method-not-allowed", status=405
                     )
-                payload = self._healthz() if path == "/healthz" else self._metrics_dump()
-                status = 200
-            elif path in _POST_ROUTES:
+                status, payload = 200, self._handle_get(path, headers)
+            elif is_compute:
                 if method != "POST":
                     raise ProtocolError(
                         f"{path} only supports POST", code="method-not-allowed", status=405
                     )
-                status, payload, extra = await self._handle_compute(path, body)
+                status, payload, extra_c, meta = await self._handle_compute(
+                    path, body, request_id
+                )
+                extra.update(extra_c)
             else:
                 raise ProtocolError(
                     f"no such endpoint {path!r}", code="not-found", status=404
                 )
         except ProtocolError as e:
-            status, payload = e.status, e.to_payload()
+            status, payload, error_code = e.status, e.to_payload(), e.code
+            meta = getattr(e, "compute_meta", None)
             if e.status == 429:
                 extra["Retry-After"] = "1"
         except Exception as e:  # pragma: no cover - route safety net
             logger.exception("unhandled error serving %s %s", method, path)
             status = 500
+            error_code = "internal-error"
             payload = error_payload("internal-error", f"{type(e).__name__}: {e}")
+        total_ms = (time.perf_counter() - t0) * 1000.0
+        if record is not None:
+            self._finish_flight(
+                record, status=status, cache=extra.get("X-Repro-Cache"),
+                meta=meta, total_ms=total_ms, error_code=error_code,
+            )
         self._metrics.counter(
             "serve.responses", endpoint=endpoint, status=str(status)
         ).inc()
-        self._metrics.histogram("serve.latency_ms", endpoint=endpoint).observe(
-            int((time.perf_counter() - t0) * 1000)
+        self._metrics.latency_histogram("serve.latency_ms", endpoint=endpoint).observe(
+            total_ms
         )
         return status, payload, extra
 
-    async def _handle_compute(self, path: str, body: bytes):
+    def _finish_flight(
+        self,
+        record,
+        *,
+        status: int,
+        cache: str | None,
+        meta: dict | None,
+        total_ms: float,
+        error_code: str | None,
+    ) -> None:
+        """Close a compute request's flight record, stitching its trace.
+
+        A full trace is kept only for requests that actually ran the
+        compute (cache=miss with worker meta); hits and coalesced
+        followers reuse the leader's computation, so their records carry
+        the latency breakdown but no duplicate span tree.
+        """
+        meta = meta or {}
+        trace = None
+        if self.config.trace_requests and cache == "miss" and "spans" in meta:
+            trace = stitch_trace(
+                record.request_id,
+                record.endpoint,
+                total_ms=total_ms,
+                status=status,
+                cache=cache,
+                queue_ms=meta.get("queue_ms"),
+                compute_ms=meta.get("compute_ms"),
+                worker_pid=meta.get("worker_pid"),
+                worker_spans=meta.get("spans"),
+            )
+        self._flight.finish(
+            record,
+            status=status,
+            cache=cache,
+            queue_ms=meta.get("queue_ms"),
+            compute_ms=meta.get("compute_ms"),
+            total_ms=round(total_ms, 3),
+            worker_pid=meta.get("worker_pid"),
+            error_code=error_code,
+            trace=trace,
+        )
+
+    def _handle_get(self, path: str, headers: dict[str, str]):
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/metrics":
+            accept = headers.get("accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                self._refresh_slo_gauges()
+                return _TextPayload(prometheus_text(self._metrics))
+            return self._metrics_dump()
+        if path == "/debug/requests":
+            return {
+                "schema": "repro.serve-debug-requests",
+                "version": 1,
+                "requests": self._flight.recent(50),
+                "slowest": self._flight.slowest(),
+            }
+        if path == "/debug/inflight":
+            return {
+                "schema": "repro.serve-debug-inflight",
+                "version": 1,
+                "admitted": self._admitted,
+                "inflight": self._flight.inflight(),
+            }
+        request_id = path[len(_DEBUG_REQUEST_PREFIX):]
+        found = self._flight.get(request_id)
+        if found is None:
+            raise ProtocolError(
+                f"no retained request {request_id!r} (records and traces "
+                "are bounded rings; it may have been evicted)",
+                code="not-found",
+                status=404,
+            )
+        return dict(
+            {"schema": "repro.serve-debug-request", "version": 1}, **found
+        )
+
+    async def _handle_compute(self, path: str, body: bytes, request_id: str):
         if self._draining:
             raise ProtocolError(
                 "server is draining", code="shutting-down", status=503
@@ -385,7 +532,7 @@ class PartitionServer:
         if cached is not None:
             self._response_cache.move_to_end(key)
             self._metrics.counter("serve.response_cache.hits").inc()
-            return 200, cached, {"X-Repro-Cache": "hit"}
+            return 200, cached, {"X-Repro-Cache": "hit"}, None
         self._metrics.counter("serve.response_cache.misses").inc()
 
         extra = {"X-Repro-Cache": "miss"}
@@ -404,7 +551,9 @@ class PartitionServer:
                 )
             self._admitted += 1
             self._metrics.gauge("serve.inflight").set(self._admitted)
-            task = asyncio.ensure_future(self._compute(request))
+            # The leader's request id travels to the worker; coalesced
+            # followers share its result (and therefore its span trees).
+            task = asyncio.ensure_future(self._compute(request, request_id))
             self._inflight[key] = task
             task.add_done_callback(lambda _t, key=key: self._compute_done(key))
 
@@ -413,7 +562,9 @@ class PartitionServer:
             # shield(): a timed-out waiter must not cancel the shared
             # computation out from under coalesced followers (and the
             # response cache, which the retry will hit).
-            report = await asyncio.wait_for(asyncio.shield(task), timeout=deadline_s)
+            report, meta = await asyncio.wait_for(
+                asyncio.shield(task), timeout=deadline_s
+            )
         except asyncio.TimeoutError:
             self._metrics.counter("serve.deadline_exceeded").inc()
             raise ProtocolError(
@@ -422,16 +573,16 @@ class PartitionServer:
                 code="deadline-exceeded",
                 status=504,
             ) from None
-        return 200, report, extra
+        return 200, report, extra, meta
 
-    async def _compute(self, request) -> dict:
-        report = await self._batcher.submit(request)
+    async def _compute(self, request, request_id: str) -> tuple[dict, dict]:
+        report, meta = await self._batcher.submit(request, request_id)
         if self.config.response_cache_size > 0:
             self._response_cache[request.canonical_key] = report
             self._response_cache.move_to_end(request.canonical_key)
             while len(self._response_cache) > self.config.response_cache_size:
                 self._response_cache.popitem(last=False)
-        return report
+        return report, meta
 
     def _compute_done(self, key: tuple) -> None:
         self._inflight.pop(key, None)
@@ -452,7 +603,24 @@ class PartitionServer:
             "response_cache_entries": len(self._response_cache),
         }
 
+    def _refresh_slo_gauges(self) -> None:
+        """Recompute SLO burn-rate gauges from the flight-recorder window.
+
+        Burn rates are scrape-time quantities (a ratio over a trailing
+        window), so they are refreshed on every ``/metrics`` read rather
+        than on every request.
+        """
+        burn = self._flight.burn_rates(
+            slo_p99_ms=self.config.slo_p99_ms,
+            slo_error_rate=self.config.slo_error_rate,
+        )
+        self._metrics.gauge("serve.slo.error_burn").set(burn["error_burn"])
+        self._metrics.gauge("serve.slo.latency_burn").set(burn["latency_burn"])
+        self._metrics.gauge("serve.slo.error_rate").set(burn["error_rate"])
+        self._metrics.gauge("serve.slo.window_requests").set(burn["window_requests"])
+
     def _metrics_dump(self) -> dict:
+        self._refresh_slo_gauges()
         return {
             "schema": "repro.serve-metrics",
             "version": 1,
@@ -460,6 +628,10 @@ class PartitionServer:
             "server": self._healthz(),
             "metrics": self._metrics.snapshot(),
             "caches": analytic_cache_stats(),
+            "slo": {
+                "p99_ms": self.config.slo_p99_ms,
+                "error_rate": self.config.slo_error_rate,
+            },
         }
 
 
@@ -560,6 +732,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
                    help="max seconds to wait for in-flight work on shutdown")
     p.add_argument("--port-file", default=None, metavar="PATH",
                    help="write the bound port here once listening")
+    p.add_argument("--slo-p99-ms", type=float, default=1000.0, metavar="MS",
+                   help="latency SLO target: p99 of request latency "
+                   "(feeds the serve.slo.latency_burn gauge)")
+    p.add_argument("--slo-error-rate", type=float, default=0.01, metavar="RATE",
+                   help="error-budget SLO: allowed 5xx fraction "
+                   "(feeds the serve.slo.error_burn gauge)")
+    p.add_argument("--flight-capacity", type=int, default=512, metavar="N",
+                   help="per-request flight-recorder ring size")
+    p.add_argument("--no-request-traces", action="store_true",
+                   help="do not ship worker span trees back per request "
+                   "(/debug/requests/<id> loses stitched traces; used to "
+                   "measure telemetry overhead)")
     p.add_argument("--log-level", default=None,
                    choices=["debug", "info", "warning", "error"])
     return p
@@ -590,6 +774,10 @@ def serve_main(argv: list[str] | None = None, *, out=None) -> int:
         deadline_ms=args.deadline_ms,
         drain_s=args.drain_s,
         port_file=args.port_file,
+        slo_p99_ms=args.slo_p99_ms,
+        slo_error_rate=args.slo_error_rate,
+        flight_capacity=args.flight_capacity,
+        trace_requests=not args.no_request_traces,
     )
 
     async def run() -> None:
