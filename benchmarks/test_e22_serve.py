@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.serve import EmbeddedServer, ServeClient, ServeConfig
-from repro.serve.loadgen import percentile
+from repro.serve.loadgen import percentile, run_family_sweep
 
 from .paper_programs import example8
 from .reporting import write_bench_report
@@ -119,6 +119,21 @@ def run_serve_bench() -> dict:
     }
 
 
+def run_family_plan_bench() -> dict:
+    """Per-family plan hit rates against a ``plan_cache=True`` server:
+    each family shares one structure key, so the first request of a
+    family is the only plan miss the server should record for it."""
+    with EmbeddedServer(ServeConfig(port=0, workers=1, plan_cache=True)) as emb:
+        return run_family_sweep(
+            host="127.0.0.1",
+            port=emb.port,
+            clients=2,
+            families=3,
+            n_variants=3,
+            p_variants=2,
+        )
+
+
 def test_serve_throughput(benchmark):
     results = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
 
@@ -134,6 +149,15 @@ def test_serve_throughput(benchmark):
     assert server_lat["count"] == (
         results["requests_cold"] + results["requests_warm"]
     ), results
+
+    # A plan-cache server answering family sweeps: every family's plan
+    # hit rate must reflect the solve-once-per-structure contract.
+    family = run_family_plan_bench()
+    assert family["error_count"] == 0, family
+    for entry in family["families"]:
+        plan = entry["plan"]
+        assert plan["hits"] + plan["misses"] >= 1, entry
+        assert plan["hit_rate"] > 0.5, entry
 
     from repro.core import estimate_traffic, partition_references
     from repro.core.optimize import optimize_rectangular
@@ -152,6 +176,7 @@ def test_serve_throughput(benchmark):
         },
         meta={
             "serve": results,
+            "family_plan": family,
             "required_min_warm_speedup": MIN_WARM_SPEEDUP,
             "warm_passes": WARM_PASSES,
         },

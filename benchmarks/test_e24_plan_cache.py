@@ -1,0 +1,182 @@
+"""E24 — structure-keyed plan cache: solve once per shape, instantiate per request.
+
+Not a paper figure: this benchmark guards the plan-cache claims from the
+Sec 3.6 closed-form tier.  A 50-request sweep over one loop *shape* — the
+matmul-like nest ``C[i,j] = C[i,j] + A[i,k] + B[k,j]`` at varying N and P
+— shares a single structure key, so the plan tier pays one symbolic solve
+and then answers every request by O(1) closed-form instantiation:
+
+* every plan answer must match the numeric Theorem-4 optimizer exactly
+  (cost and grid) — the tier is an accelerator, not an approximation;
+* the warm structure-hit path must beat per-request numeric optimisation
+  by ≥ 20× in aggregate over the sweep;
+* the sweep itself must be fallback-free (one miss, then all hits).
+
+A second mixed pass runs the paper-example corpus through the same cache
+to record the fallback taxonomy — which structures the closed forms
+decline and why — so the report shows coverage, not just the happy path.
+
+With ``REPRO_BENCH_REPORTS`` set the numbers land in
+``BENCH_plan_cache.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import partition_references
+from repro.core.optimize import optimize_rectangular
+from repro.core.plan import PlanCache, plan_optimize, structure_key
+from repro.lang import compile_nest
+
+from .paper_programs import example2, example3, example6, example8
+from .reporting import write_bench_report
+
+REQUESTS = 50
+MIN_PLAN_SPEEDUP = 20.0
+
+MATMUL_SOURCE = """
+Doall (i, 1, N)
+  Doall (j, 1, N)
+    Doall (k, 1, N)
+      C[i,j] = C[i,j] + A[i,k] + B[k,j]
+    EndDoall
+  EndDoall
+EndDoall
+"""
+
+#: Processor counts cycled across the sweep — each pairs with several N.
+SWEEP_PS = [4, 8, 16, 6, 12]
+
+
+def _family_variants(requests: int = REQUESTS) -> list[tuple]:
+    """The 50-request sweep: one structure, many (N, P) instantiations."""
+    variants = []
+    for k in range(requests):
+        n = 16 + 2 * (k % 10)
+        p = SWEEP_PS[k % len(SWEEP_PS)]
+        nest = compile_nest(MATMUL_SOURCE, bindings={"N": n})
+        variants.append((nest, partition_references(nest.accesses), p))
+    return variants
+
+
+def run_plan_bench() -> dict:
+    variants = _family_variants()
+
+    # One structure key across the whole sweep — that is the family claim.
+    keys = {structure_key(sets, nest.space.depth) for nest, sets, p in variants}
+    assert len(keys) == 1, f"sweep spans {len(keys)} structures, expected 1"
+
+    # Numeric baseline: per-request Theorem-4 optimisation, no plan tier.
+    t0 = time.perf_counter()
+    numeric = [
+        optimize_rectangular(sets, nest.space, p, scoring="theorem4")
+        for nest, sets, p in variants
+    ]
+    numeric_s = time.perf_counter() - t0
+
+    # Plan path: pay the one symbolic solve up front, then time the warm
+    # structure-hit sweep — the per-request cost a steady-state server sees.
+    cache = PlanCache()
+    nest0, sets0, p0 = variants[0]
+    t0 = time.perf_counter()
+    optimize_rectangular(sets0, nest0.space, p0, scoring="theorem4", plan_cache=cache)
+    solve_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    plan = [
+        optimize_rectangular(sets, nest.space, p, scoring="theorem4", plan_cache=cache)
+        for nest, sets, p in variants
+    ]
+    plan_s = time.perf_counter() - t0
+
+    mismatches = [
+        {
+            "request": i,
+            "numeric": {"cost": num.predicted_cost, "grid": list(num.grid)},
+            "plan": {"cost": pl.predicted_cost, "grid": list(pl.grid)},
+        }
+        for i, (num, pl) in enumerate(zip(numeric, plan))
+        if num.predicted_cost != pl.predicted_cost or tuple(num.grid) != tuple(pl.grid)
+    ]
+    sweep_stats = cache.stats()
+
+    # Mixed corpus: the paper examples exercise other structure classes;
+    # whatever the closed forms decline lands in the fallback taxonomy.
+    taxonomy_cache = PlanCache()
+    corpus = [
+        ("example2", example2(), 100),
+        ("example3", example3(36), 9),
+        ("example6", example6(), 25),
+        ("example8", example8(24), 8),
+    ]
+    corpus_outcomes = {}
+    for label, nest, p in corpus:
+        sets = partition_references(nest.accesses)
+        result = plan_optimize(sets, nest.space, p, cache=taxonomy_cache)
+        corpus_outcomes[label] = "plan" if result is not None else "fallback"
+
+    return {
+        "workload": f"matmul family, {REQUESTS} requests, N in 16..34, P in {SWEEP_PS}",
+        "requests": REQUESTS,
+        "distinct_structures": len(keys),
+        "numeric_total_s": numeric_s,
+        "plan_solve_s": solve_s,
+        "plan_warm_total_s": plan_s,
+        "numeric_per_request_ms": numeric_s / REQUESTS * 1000,
+        "plan_per_request_ms": plan_s / REQUESTS * 1000,
+        "warm_hit_speedup": numeric_s / plan_s,
+        "mismatches": mismatches,
+        "sweep_cache": sweep_stats,
+        "corpus_outcomes": corpus_outcomes,
+        "corpus_cache": taxonomy_cache.stats(),
+        "corpus_fallback_reasons": dict(taxonomy_cache.fallback_reasons()),
+    }
+
+
+def test_plan_cache_speedup(benchmark):
+    results = benchmark.pedantic(run_plan_bench, rounds=1, iterations=1)
+
+    # Exact parity on every request: the plan tier may never change answers.
+    assert not results["mismatches"], results["mismatches"]
+    # The family sweep is one miss then all hits, no fallbacks.
+    assert results["sweep_cache"]["entries"] == 1, results["sweep_cache"]
+    assert results["sweep_cache"]["fallbacks"] == 0, results["sweep_cache"]
+    assert results["sweep_cache"]["hits"] >= results["requests"], results["sweep_cache"]
+    # The headline claim: warm structure hits beat numeric by ≥ 20×.
+    assert results["warm_hit_speedup"] >= MIN_PLAN_SPEEDUP, results
+
+    from repro.core import estimate_traffic
+
+    nest = compile_nest(MATMUL_SOURCE, bindings={"N": 32})
+    sets = partition_references(nest.accesses)
+    opt = optimize_rectangular(sets, nest.space, 16, scoring="theorem4")
+    write_bench_report(
+        "plan_cache",
+        processors=16,
+        estimate=estimate_traffic(sets, opt.tile),
+        program={
+            "workload": results["workload"],
+            "source": "C[i,j] = C[i,j] + A[i,k] + B[k,j]",
+        },
+        meta={
+            "plan_cache": results,
+            "required_min_speedup": MIN_PLAN_SPEEDUP,
+        },
+    )
+
+
+def test_plan_cache_smoke():
+    """Marker-free quick check for CI's timing guard: one solve, one hit,
+    exact parity against the numeric optimizer, no wall-clock assertions."""
+    nest = compile_nest(MATMUL_SOURCE, bindings={"N": 16})
+    sets = partition_references(nest.accesses)
+    cache = PlanCache()
+    first = optimize_rectangular(sets, nest.space, 8, scoring="theorem4", plan_cache=cache)
+    second = optimize_rectangular(sets, nest.space, 8, scoring="theorem4", plan_cache=cache)
+    numeric = optimize_rectangular(sets, nest.space, 8, scoring="theorem4")
+    assert first.predicted_cost == numeric.predicted_cost
+    assert tuple(first.grid) == tuple(numeric.grid)
+    assert second.predicted_cost == first.predicted_cost
+    assert cache.stats()["hits"] >= 1
+    assert cache.stats()["fallbacks"] == 0

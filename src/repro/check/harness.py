@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..core import cost as _cost
 from ..core import cumulative as _cum
 from ..core import optimize as _opt
+from ..core import plan as _plan
 from ..core.classify import partition_references
 from ..core.optimize import optimize_parallelepiped
 from ..core.partitioner import LoopPartitioner
@@ -79,15 +80,28 @@ def _patched(module, name, fn):
 
 @contextmanager
 def _inject_spread():
-    """Scale spread coefficients down: Theorem-4 costs undercount."""
+    """Scale spread coefficients down: Theorem-4 costs undercount.
+
+    The plan solver's binding is patched too, so the plan-vs-numeric
+    oracle stays green (the plan *intentionally* replicates the numeric
+    formula — a consistent fault must be caught by the independent
+    exact-lattice oracle, not by self-comparison).  The shared plan
+    cache is cleared on both sides so faulted payloads never leak into
+    or out of the faulted region.
+    """
     orig = _cum.spread_coefficients
 
     def bad(uiset):
         return orig(uiset) * 0.25
 
-    with _patched(_cum, "spread_coefficients", bad):
-        with _patched(_opt, "spread_coefficients", bad):
-            yield
+    _plan.DEFAULT_PLAN_CACHE.clear()
+    try:
+        with _patched(_cum, "spread_coefficients", bad):
+            with _patched(_opt, "spread_coefficients", bad):
+                with _patched(_plan, "spread_coefficients", bad):
+                    yield
+    finally:
+        _plan.DEFAULT_PLAN_CACHE.clear()
 
 
 @contextmanager
@@ -104,9 +118,40 @@ def _inject_exact_count():
                 yield
 
 
+@contextmanager
+def _inject_plan():
+    """Corrupt plan instantiation: predicted cost scaled down 4x.
+
+    Exercises the plan-parity oracle end to end: solved payloads stay
+    correct (and uncached results cannot poison anything), but every
+    instantiated plan reports a wrong cost, which ``plan-parity`` must
+    flag on every applicable case.
+    """
+    import dataclasses
+
+    orig = _plan.instantiate_plan
+
+    def bad(payload, extents, processors):
+        result, reason = orig(payload, extents, processors)
+        if result is None:
+            return result, reason
+        return (
+            dataclasses.replace(result, predicted_cost=result.predicted_cost * 0.25),
+            None,
+        )
+
+    _plan.DEFAULT_PLAN_CACHE.clear()
+    try:
+        with _patched(_plan, "instantiate_plan", bad):
+            yield
+    finally:
+        _plan.DEFAULT_PLAN_CACHE.clear()
+
+
 FAULTS = {
     "spread": _inject_spread,
     "exact-count": _inject_exact_count,
+    "plan": _inject_plan,
 }
 
 
@@ -150,6 +195,26 @@ def run_case(spec: CaseSpec, config: CheckConfig | None = None) -> CaseArtifacts
         partitioner = LoopPartitioner(art.nest, spec.processors)
         art.result = partitioner.partition(method="rectangular", scoring="exact")
         art.estimate = art.result.estimate
+
+        # Plan-vs-numeric oracle (Sec 3.6 closed forms): the plan tier
+        # must reproduce the numeric theorem-4 enumeration exactly, or
+        # decline with a declared fallback.  Both sides share the
+        # process-wide plan cache, so corpus replays also exercise the
+        # warm-hit path.
+        try:
+            art.numeric_rect = _opt.optimize_rectangular(
+                art.uisets, art.nest.space, spec.processors, scoring="theorem4"
+            )
+            art.plan_result = _plan.plan_optimize(
+                art.uisets,
+                art.nest.space,
+                spec.processors,
+                cache=_plan.DEFAULT_PLAN_CACHE,
+            )
+        except OptimizationError:
+            # Theorem-4 scoring infeasible (the primary exact-scoring
+            # partition above already succeeded); no parity to check.
+            art.tally.hit("plan-oracle-skipped")
 
         if spec.depth >= 2 and spec.case_id % config.parallelepiped_every == 0:
             try:
@@ -303,6 +368,7 @@ def _run_task_batch(
         out,
         DEFAULT_LATTICE_CACHE.export_entries(),
         DEFAULT_FOOTPRINT_TABLE.export_entries(),
+        _plan.DEFAULT_PLAN_CACHE.export_entries(),
     )
 
 
@@ -341,7 +407,7 @@ def run_check(
     tasks.extend(("generated", case_id) for case_id in range(cases))
 
     if workers == 1 or len(tasks) <= 1:
-        results, _, _ = _run_task_batch(tasks, seed, config, fault)
+        results, _, _, _ = _run_task_batch(tasks, seed, config, fault)
     else:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
@@ -362,7 +428,12 @@ def run_check(
             ]
             for future in futures:
                 try:
-                    batch_results, lattice_entries, table_entries = future.result()
+                    (
+                        batch_results,
+                        lattice_entries,
+                        table_entries,
+                        plan_entries,
+                    ) = future.result()
                 except BrokenProcessPool as exc:
                     raise ReproError(
                         f"a check worker process died mid-batch (killed or "
@@ -377,6 +448,7 @@ def run_check(
                     # poisoned values must never reach a shared cache.
                     DEFAULT_LATTICE_CACHE.absorb_entries(lattice_entries)
                     DEFAULT_FOOTPRINT_TABLE.absorb_entries(table_entries)
+                    _plan.DEFAULT_PLAN_CACHE.absorb_entries(plan_entries)
 
     for (origin, payload), (counts, entry, first) in zip(tasks, results):
         for name, count in counts.items():

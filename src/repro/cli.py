@@ -5,7 +5,7 @@
     python -m repro program.doall -p 16 -D N=64 [--method auto]
                                   [--simulate] [--sweeps 2]
                                   [--engine auto|fast|exact] [--workers N]
-                                  [--cache-dir DIR]
+                                  [--cache-dir DIR] [--plan-cache]
                                   [--pseudocode 0,1] [--data]
                                   [--json-report out.json]
                                   [--trace-out trace.jsonl] [--trace-sample 10]
@@ -105,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist the analytic caches (warm start) in DIR; defaults to "
         "$REPRO_CACHE_DIR when that is set, otherwise persistence is off",
+    )
+    p.add_argument(
+        "--plan-cache",
+        action="store_true",
+        help="route rectangular optimisation through the structure-keyed "
+        "plan cache: solve the Sec 3.6 closed forms once per loop shape, "
+        "instantiate per run in O(1), fall back to the numeric optimizer "
+        "when no closed form applies (plans persist via --cache-dir)",
     )
     p.add_argument(
         "--pseudocode",
@@ -273,10 +281,13 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
     emit()
 
     try:
+        if args.plan_cache:
+            from .core.plan import DEFAULT_PLAN_CACHE
         result = part.partition(
             method=args.method,
             workers=args.workers or 1,
             cache=DEFAULT_LATTICE_CACHE if cache_dir else None,
+            plan_cache=DEFAULT_PLAN_CACHE if args.plan_cache else None,
         )
     except ReproError as e:
         emit(f"error: {e}")

@@ -96,12 +96,21 @@ def render_dashboard(
     lattice_rate = (
         lattice.get("hits", 0) / lattice_lookups * 100 if lattice_lookups else 0.0
     )
-    lines.append(
+    caches_line = (
         f"caches: response {hits}/{total_lookups} hits ({hit_rate:.0f}%)"
         f"  coalesced {coalesced}"
         f"  lattice {lattice.get('entries', '?')} entries"
         f" ({lattice_rate:.0f}% hit)"
     )
+    plan = dump.get("caches", {}).get("plan")
+    if plan:
+        plan_lookups = plan.get("hits", 0) + plan.get("misses", 0)
+        plan_rate = plan.get("hits", 0) / plan_lookups * 100 if plan_lookups else 0.0
+        caches_line += (
+            f"  plan {plan.get('entries', '?')} plans"
+            f" ({plan_rate:.0f}% hit, {plan.get('fallbacks', 0)} fallbacks)"
+        )
+    lines.append(caches_line)
     error_burn = _gauge(metrics, "serve.slo.error_burn")
     latency_burn = _gauge(metrics, "serve.slo.latency_burn")
     if error_burn is not None or latency_burn is not None:

@@ -362,6 +362,7 @@ def optimize_rectangular(
     scoring: str = "theorem4",
     cache: LatticeCountCache | None = None,
     workers: int = 1,
+    plan_cache=None,
 ) -> RectOptResult:
     """Find the best rectangular tile for ``P`` processors (Examples 8-10).
 
@@ -390,6 +391,13 @@ def optimize_rectangular(
     the result is identical to the serial search for any worker count
     (candidates keep their enumeration order through the deterministic
     ``(cost, distance, grid)`` reduction).
+
+    ``plan_cache`` (a :class:`repro.core.plan.PlanCache`) consults the
+    structure-keyed plan tier first: a usable solved plan reproduces this
+    function's answer from its stored closed forms without running the
+    grid search; an inapplicable or losing plan records a fallback and
+    the numeric search below runs unchanged.  Plans model the default
+    ``theorem4`` scoring only.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -403,6 +411,12 @@ def optimize_rectangular(
         )
     if cache is None:
         cache = LatticeCountCache()
+    if plan_cache is not None and scoring == "theorem4":
+        from .plan import plan_optimize
+
+        planned = plan_optimize(uisets, space, processors, cache=plan_cache)
+        if planned is not None:
+            return planned
     try:
         a = rect_cost_coefficients(uisets, l)
     except OptimizationError:

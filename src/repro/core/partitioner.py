@@ -138,6 +138,7 @@ class LoopPartitioner:
         scoring: str = "theorem4",
         workers: int = 1,
         cache=None,
+        plan_cache=None,
     ) -> PartitionResult:
         """Compute the partition.
 
@@ -151,7 +152,10 @@ class LoopPartitioner:
         ``workers`` parallelises the rectangular grid search
         (:func:`optimize_rectangular`'s process pool); ``cache`` is an
         optional shared :class:`~repro.lattice.points.LatticeCountCache`
-        for its exact enumerations (e.g. the CLI's warm-start cache).
+        for its exact enumerations (e.g. the CLI's warm-start cache);
+        ``plan_cache`` is an optional :class:`~repro.core.plan.PlanCache`
+        consulted before the rectangular grid search (solved structure
+        plans instantiate in O(1); inapplicable plans fall back here).
         """
         space = self.nest.space
         with span("partition.comm_free"):
@@ -169,6 +173,7 @@ class LoopPartitioner:
                     scoring=scoring,
                     workers=workers,
                     cache=cache,
+                    plan_cache=plan_cache,
                 )
                 est = estimate_traffic(list(self.uisets), rect_res.tile, method="exact")
             candidates.append(

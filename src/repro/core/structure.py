@@ -1,0 +1,88 @@
+"""Canonical *structure keys* for partition plans.
+
+A served workload is a stream of request *families*: the same loop shape
+(reference matrices ``G``, offset spreads, read/write mix, class
+partition) instantiated with different bounds ``N`` and processor counts
+``P``.  Everything the Sec 3.6 Lagrange analysis derives — the spread
+coefficients ``u`` of each class (Theorem 4), the per-dimension traffic
+coefficients ``A_i``, the integer kernel of each ``G`` (coherence
+penalty), the parametric Theorem-2 cost polynomial — depends only on
+that shape, never on the literal bounds.  :func:`structure_key`
+quotients a classified loop body down to exactly the shape, so a
+:class:`~repro.core.plan.PlanCache` can solve the closed forms once per
+shape and replay them for every family member.
+
+Canonicalisation rules (documented in DESIGN.md):
+
+* the key covers the loop depth and a descriptor per uniformly
+  intersecting class; bounds, processor count, and tile volume are
+  abstracted away (they are the plan's *parameters*);
+* each class descriptor is the exact ``G`` matrix (shape + bytes of the
+  canonical ``int64`` layout), the member offsets normalised by
+  translation (per-coordinate minimum subtracted — Proposition 1: a
+  common translation moves the footprint, never resizes it) and sorted
+  row-wise (member order is immaterial to spreads, unions, and kernels),
+  and a write-like flag (the only kind information the optimiser uses,
+  via the coherence penalty);
+* class descriptors are sorted, so textual reference order does not
+  split a family.
+
+Keys are nested tuples of ints/strings/bytes — the same vocabulary as
+the lattice-cache keys — so they survive the
+:mod:`repro.lattice.persist` JSON round trip losslessly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classify import UISet
+
+__all__ = ["structure_key", "class_descriptor", "canonical_class_order"]
+
+#: Bump when the plan solver's payload semantics change: the version is
+#: part of every structure key, so stale persisted plans from an older
+#: solver can never be instantiated by a newer one.
+STRUCTURE_VERSION = 1
+
+
+def class_descriptor(uiset: UISet) -> tuple:
+    """Canonical, bounds-free descriptor of one class (nested tuple)."""
+    g = np.ascontiguousarray(uiset.g, dtype=np.int64)
+    offsets = np.asarray(uiset.offsets, dtype=np.int64)
+    rel = offsets - offsets.min(axis=0)
+    rows = sorted(tuple(int(x) for x in row) for row in rel.tolist())
+    return (
+        "class",
+        int(g.shape[0]),
+        int(g.shape[1]),
+        g.tobytes(),
+        int(len(rows)),
+        np.ascontiguousarray(rows, dtype=np.int64).tobytes() if rows else b"",
+        1 if uiset.has_write() else 0,
+    )
+
+
+def canonical_class_order(uisets) -> list[UISet]:
+    """The classes sorted by descriptor (stable for equal descriptors).
+
+    The plan solver walks classes in this order so the solved payload —
+    including float summation order — is a pure function of the
+    structure key.
+    """
+    return [
+        s
+        for _, _, s in sorted(
+            (class_descriptor(s), i, s) for i, s in enumerate(uisets)
+        )
+    ]
+
+
+def structure_key(uisets, depth: int) -> tuple:
+    """The canonical structure key of a classified loop body."""
+    return (
+        "plan",
+        STRUCTURE_VERSION,
+        int(depth),
+        tuple(sorted(class_descriptor(s) for s in uisets)),
+    )

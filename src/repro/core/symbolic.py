@@ -27,7 +27,12 @@ from ..exceptions import SingularMatrixError
 from .classify import UISet, partition_references
 from .cumulative import spread_coefficients
 
-__all__ = ["RectFootprintPolynomial", "class_polynomial", "loop_polynomial"]
+__all__ = [
+    "RectFootprintPolynomial",
+    "class_polynomial",
+    "class_polynomial_from_u",
+    "loop_polynomial",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,31 @@ class RectFootprintPolynomial:
             total += prod
         return float(total)
 
+    @staticmethod
+    def monomial(dims, names, coeff: float = 1.0) -> "RectFootprintPolynomial":
+        """``coeff · Π_{j∈dims} s_j`` — the closed form of a class whose
+        reduced ``G`` has independent nonzero rows spanning ``dims`` and
+        coincident reduced offsets (its exact union is a product)."""
+        return RectFootprintPolynomial.from_dict({tuple(dims): coeff}, names)
+
+    def to_payload(self) -> dict:
+        """Pure-JSON representation (lists/numbers/strings only)."""
+        return {
+            "names": list(self.names),
+            "terms": [[list(dims), float(c)] for dims, c in self.terms],
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "RectFootprintPolynomial":
+        """Inverse of :meth:`to_payload` (accepts a JSON round trip)."""
+        return RectFootprintPolynomial(
+            tuple(
+                (tuple(int(j) for j in dims), float(c))
+                for dims, c in payload["terms"]
+            ),
+            tuple(str(n) for n in payload["names"]),
+        )
+
     def partition_sensitive(self) -> "RectFootprintPolynomial":
         """Drop the full-volume term (constant under load balancing) —
         what is left is the traffic being minimised (Figure 9 argument)."""
@@ -116,6 +146,23 @@ def class_polynomial(uiset: UISet, names) -> RectFootprintPolynomial:
             if ui:
                 dims = tuple(j for j in range(l) if j != i)
                 d[dims] = d.get(dims, 0.0) + float(ui)
+    return RectFootprintPolynomial.from_dict(d, names)
+
+
+def class_polynomial_from_u(u, names) -> RectFootprintPolynomial:
+    """Theorem-4 polynomial from precomputed spread coefficients ``u``.
+
+    Same expression as :func:`class_polynomial` without re-solving the
+    rational system — the plan solver stores ``u`` once per structure
+    and rebuilds the polynomial from it.
+    """
+    names = tuple(names)
+    l = len(names)
+    d: dict[tuple[int, ...], float] = {tuple(range(l)): 1.0}
+    for i, ui in enumerate(u):
+        if ui:
+            dims = tuple(j for j in range(l) if j != i)
+            d[dims] = d.get(dims, 0.0) + float(ui)
     return RectFootprintPolynomial.from_dict(d, names)
 
 

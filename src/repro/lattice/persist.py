@@ -10,15 +10,24 @@ at startup and merge the session's new entries back at exit.
 
 File format (``analytic_cache.json`` in the cache directory)::
 
-    {"schema": "repro.analytic-cache", "version": 1,
+    {"schema": "repro.analytic-cache", "version": 2,
      "caches": {"footprint_table": [[key, value], ...],
-                "lattice_cache":   [[key, value], ...]}}
+                "lattice_cache":   [[key, value], ...],
+                "plan_cache":      [[key, payload], ...]}}
 
 Keys are nested tuples of ints / strings / bytes; they are encoded
 recursively with tagged objects (``{"t": [...]}`` for tuples,
 ``{"b": "<hex>"}`` for bytes) so the JSON roundtrip is lossless.  A file
 with an unknown schema or version is ignored, never migrated: the cache
 is a pure accelerator and stale data must not poison results.
+
+Version 2 adds the ``plan_cache`` section (structure-keyed partition
+plans, whose values are JSON objects rather than numbers) and the
+forward-compatibility rule that makes such additions safe from now on:
+readers *skip* cache sections they do not recognise instead of erroring,
+and the merge-write preserves unrecognised sections verbatim so a newer
+writer's entries survive an older writer's save.  Version-1 files are
+still read (their sections are a subset of ours).
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from .points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
 __all__ = [
     "CACHE_SCHEMA",
     "CACHE_VERSION",
+    "ACCEPTED_VERSIONS",
     "CACHE_FILENAME",
     "default_cache_dir",
     "encode_key",
@@ -46,7 +56,11 @@ __all__ = [
 logger = logging.getLogger("repro.lattice.persist")
 
 CACHE_SCHEMA = "repro.analytic-cache"
-CACHE_VERSION = 1
+CACHE_VERSION = 2
+#: Versions this reader accepts.  v1 files lack the plan section but are
+#: otherwise identical; anything newer is ignored wholesale (stale data
+#: must not poison results).
+ACCEPTED_VERSIONS = (1, 2)
 CACHE_FILENAME = "analytic_cache.json"
 LOCK_FILENAME = CACHE_FILENAME + ".lock"
 
@@ -157,17 +171,36 @@ def decode_key(obj):
     raise ValueError(f"malformed cache key component: {obj!r}")
 
 
-def _cache_map(footprint_table, lattice_cache) -> dict:
+def _cache_map(footprint_table, lattice_cache, plan_cache) -> dict:
+    from ..core.plan import DEFAULT_PLAN_CACHE
+
     return {
         "footprint_table": footprint_table
         if footprint_table is not None
         else DEFAULT_FOOTPRINT_TABLE,
         "lattice_cache": lattice_cache if lattice_cache is not None else DEFAULT_LATTICE_CACHE,
+        "plan_cache": plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE,
     }
 
 
+def _value_ok(name: str, value) -> bool:
+    """Per-section value shape: numbers for the count caches, JSON
+    objects for plan payloads, anything for sections we do not know
+    (they are preserved, not interpreted)."""
+    if name == "plan_cache":
+        return isinstance(value, dict)
+    if name in ("footprint_table", "lattice_cache"):
+        return not isinstance(value, bool) and isinstance(value, (int, float))
+    return True
+
+
 def _read_entries(path: Path) -> dict[str, list] | None:
-    """Decoded ``{cache_name: [(key, value), ...]}`` from ``path``, or None."""
+    """Decoded ``{cache_name: [(key, value), ...]}`` from ``path``, or None.
+
+    Sections with malformed entries are skipped individually (and
+    therefore dropped from the next merge-write); unknown section
+    *names* are kept so newer writers' entries survive our saves.
+    """
     try:
         with open(path, encoding="utf-8") as fh:
             data = json.load(fh)
@@ -179,7 +212,7 @@ def _read_entries(path: Path) -> dict[str, list] | None:
     if (
         not isinstance(data, dict)
         or data.get("schema") != CACHE_SCHEMA
-        or data.get("version") != CACHE_VERSION
+        or data.get("version") not in ACCEPTED_VERSIONS
         or not isinstance(data.get("caches"), dict)
     ):
         logger.warning("ignoring analytic cache %s with unknown schema/version", path)
@@ -189,8 +222,8 @@ def _read_entries(path: Path) -> dict[str, list] | None:
         decoded = []
         try:
             for key, value in pairs:
-                if isinstance(value, bool) or not isinstance(value, (int, float)):
-                    raise TypeError(f"non-numeric cache value: {value!r}")
+                if not _value_ok(name, value):
+                    raise TypeError(f"bad cache value for {name!r}: {value!r}")
                 decoded.append((decode_key(key), value))
         except (TypeError, ValueError) as exc:
             logger.warning("ignoring malformed entries for cache %r in %s: %s", name, path, exc)
@@ -199,7 +232,9 @@ def _read_entries(path: Path) -> dict[str, list] | None:
     return out
 
 
-def load_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> int:
+def load_caches(
+    cache_dir=None, *, footprint_table=None, lattice_cache=None, plan_cache=None
+) -> int:
     """Warm-start the analytic caches from ``cache_dir``.
 
     Returns the number of entries absorbed (also visible as the caches'
@@ -209,14 +244,16 @@ def load_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> 
     entries = _read_entries(directory / CACHE_FILENAME)
     if not entries:
         return 0
-    caches = _cache_map(footprint_table, lattice_cache)
+    caches = _cache_map(footprint_table, lattice_cache, plan_cache)
     loaded = 0
     for name, cache in caches.items():
         loaded += cache.absorb_entries(entries.get(name, []))
     return loaded
 
 
-def save_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> int:
+def save_caches(
+    cache_dir=None, *, footprint_table=None, lattice_cache=None, plan_cache=None
+) -> int:
     """Persist the analytic caches into ``cache_dir`` (merge semantics).
 
     Entries already on disk are kept (union with the in-memory tables),
@@ -231,7 +268,7 @@ def save_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> 
     path = directory / CACHE_FILENAME
     with _CacheLock(directory):
         on_disk = _read_entries(path) or {}
-        caches = _cache_map(footprint_table, lattice_cache)
+        caches = _cache_map(footprint_table, lattice_cache, plan_cache)
         payload: dict[str, list] = {}
         written = 0
         for name, cache in caches.items():
@@ -244,6 +281,15 @@ def save_caches(cache_dir=None, *, footprint_table=None, lattice_cache=None) -> 
                 ([encode_key(k), v] for k, v in merged.items()), key=repr
             )
             written += len(merged)
+        # Forward compatibility: sections written by a newer version are
+        # carried through the merge untouched instead of being dropped.
+        for name, pairs in on_disk.items():
+            if name in payload:
+                continue
+            payload[name] = sorted(
+                ([encode_key(k), v] for k, v in pairs), key=repr
+            )
+            written += len(pairs)
         doc = {"schema": CACHE_SCHEMA, "version": CACHE_VERSION, "caches": payload}
         fd, tmp = tempfile.mkstemp(
             dir=directory, prefix=".analytic_cache.", suffix=".tmp"

@@ -851,7 +851,10 @@ def analytic_cache_stats() -> dict:
             "loads": int(cache.loads),
         }
 
+    from ..core.plan import DEFAULT_PLAN_CACHE
+
     return {
         "footprint_table": one(DEFAULT_FOOTPRINT_TABLE),
         "lattice_cache": one(DEFAULT_LATTICE_CACHE),
+        "plan": DEFAULT_PLAN_CACHE.stats(),
     }

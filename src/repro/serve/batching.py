@@ -24,6 +24,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from ..core.plan import DEFAULT_PLAN_CACHE
 from ..lattice import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
 from ..obs import get_logger, get_registry
 from .pipeline import init_worker, run_batch
@@ -45,6 +46,7 @@ class MicroBatcher:
         window_s: float = 0.002,
         max_batch: int = 8,
         ship_traces: bool = True,
+        plan_cache: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -53,6 +55,7 @@ class MicroBatcher:
         self.window_s = window_s
         self.max_batch = max_batch
         self.ship_traces = ship_traces
+        self.plan_cache = plan_cache
         self._pool: ProcessPoolExecutor | None = None
         self._pending: list[tuple[PartitionRequest, str | None, float, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
@@ -68,7 +71,7 @@ class MicroBatcher:
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=init_worker,
-            initargs=(self.cache_dir,),
+            initargs=(self.cache_dir, self.plan_cache),
         )
 
     async def drain(self) -> None:
@@ -136,7 +139,7 @@ class MicroBatcher:
         self._metrics.counter("serve.batches").inc()
         self._metrics.histogram("serve.batch_size").observe(len(batch))
         try:
-            outcomes, lattice_entries, footprint_entries = await loop.run_in_executor(
+            outcomes, lattice_entries, footprint_entries, plan_delta = await loop.run_in_executor(
                 self._pool,
                 run_batch,
                 [(request, rid) for request, rid, _, _ in batch],
@@ -177,6 +180,8 @@ class MicroBatcher:
             return
         DEFAULT_LATTICE_CACHE.absorb_entries(lattice_entries)
         DEFAULT_FOOTPRINT_TABLE.absorb_entries(footprint_entries)
+        DEFAULT_PLAN_CACHE.absorb_entries(plan_delta.get("entries", []))
+        DEFAULT_PLAN_CACHE.absorb_stats(plan_delta.get("stats", {}))
         now = time.perf_counter()
         for (_, _, submitted, future), (kind, payload, meta) in zip(batch, outcomes):
             if future.done():

@@ -36,7 +36,14 @@ import uuid
 
 from .client import ServeClient, ServeError
 
-__all__ = ["PAPER_CORPUS", "loadgen_main", "run_loadgen", "spawn_server"]
+__all__ = [
+    "PAPER_CORPUS",
+    "family_corpus",
+    "loadgen_main",
+    "run_loadgen",
+    "run_family_sweep",
+    "spawn_server",
+]
 
 #: The paper's worked examples as service requests: (label, source,
 #: bindings, processors).  Sizes follow benchmarks/paper_programs.py.
@@ -104,6 +111,36 @@ def _generated_corpus(count: int, seed: int) -> list[tuple[str, str, dict, int]]
         spec = generate_case(case_id, seed, max_accesses=2000)
         out.append((f"generated-{seed}-{case_id}", spec.source(), {}, spec.processors))
     return out
+
+
+def family_corpus(
+    family: int, n_variants: int, p_variants: int
+) -> list[tuple[str, str, dict, int]]:
+    """Request sweep for one structural family (plan-cache workload).
+
+    Every variant shares one loop *structure* — a 2-deep stencil whose
+    offsets depend only on the family index — so the whole sweep maps to
+    a single plan-cache key: with ``--plan-cache`` on the server, the
+    first variant solves the family's closed form and every later
+    variant is a structure hit.  Bounds (``N``) and processor counts
+    vary per variant, so the response cache never short-circuits the
+    sweep.
+    """
+    dx = family % 5 + 1
+    dy = family // 5 % 5 + 2
+    source = (
+        "Doall (i, 1, N)\n"
+        "  Doall (j, 1, N)\n"
+        f"    A[i,j] = B[i+{dx},j] + B[i,j+{dy}]\n"
+        "  EndDoall\n"
+        "EndDoall\n"
+    )
+    procs = [4, 8, 6, 12, 16, 24][: max(1, p_variants)]
+    return [
+        (f"family{family}-N{24 + 4 * k}-P{p}", source, {"N": 24 + 4 * k}, p)
+        for k in range(n_variants)
+        for p in procs
+    ]
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
@@ -226,6 +263,81 @@ def run_loadgen(
     }
 
 
+def _plan_cache_stats(host: str, port: int) -> dict | None:
+    """Scrape the server's plan-cache counters from ``/metrics``."""
+    try:
+        with ServeClient(host, port, timeout=10.0) as client:
+            dump = client.metrics()
+    except (ServeError, OSError):
+        return None
+    return dump.get("caches", {}).get("plan")
+
+
+def run_family_sweep(
+    *,
+    host: str,
+    port: int,
+    clients: int,
+    families: int,
+    n_variants: int,
+    p_variants: int,
+    deadline_ms: int | None = None,
+) -> dict:
+    """Drive ``families`` structure-family sweeps; report per-family stats.
+
+    Families run sequentially (their request mix must not interleave) and
+    the server's plan-cache counters are scraped before and after each,
+    so every family's entry carries its own hit/miss/fallback delta and
+    hit rate — the per-family figures BENCH_serve.json records.
+    """
+    family_entries: list[dict] = []
+    total_requests = total_completed = total_errors = 0
+    t_start = time.perf_counter()
+    for family in range(families):
+        corpus = family_corpus(family, n_variants, p_variants)
+        before = _plan_cache_stats(host, port) or {}
+        stats = run_loadgen(
+            host=host,
+            port=port,
+            clients=clients,
+            requests=len(corpus),
+            corpus=corpus,
+            deadline_ms=deadline_ms,
+        )
+        after = _plan_cache_stats(host, port) or {}
+        delta = {
+            k: after.get(k, 0) - before.get(k, 0)
+            for k in ("hits", "misses", "fallbacks")
+        }
+        lookups = delta["hits"] + delta["misses"]
+        family_entries.append(
+            {
+                "family": family,
+                "requests": len(corpus),
+                "completed": stats["completed"],
+                "errors": stats["error_count"],
+                "latency_ms": stats["latency_ms"],
+                "plan": dict(
+                    delta,
+                    hit_rate=(delta["hits"] / lookups) if lookups else None,
+                ),
+            }
+        )
+        total_requests += len(corpus)
+        total_completed += stats["completed"]
+        total_errors += stats["error_count"]
+    wall_s = time.perf_counter() - t_start
+    return {
+        "families": family_entries,
+        "requests": total_requests,
+        "completed": total_completed,
+        "error_count": total_errors,
+        "wall_s": wall_s,
+        "throughput_rps": (total_completed / wall_s) if wall_s > 0 else 0.0,
+        "plan_cache": _plan_cache_stats(host, port),
+    }
+
+
 def _server_latency(host: str, port: int) -> dict | None:
     """Scrape the server's own latency histogram for ``/v1/partition``.
 
@@ -323,6 +435,13 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
     p.add_argument("--simulate", action="store_true",
                    help="request machine-simulator validation too")
     p.add_argument("--deadline-ms", type=int, default=None, metavar="MS")
+    p.add_argument("--families", type=int, default=0, metavar="K",
+                   help="family-sweep mode: drive K structure families "
+                   "(same loop shape, varying bounds and P) sequentially "
+                   "and report per-family plan-cache hit rates")
+    p.add_argument("--sweep", default="4,3", metavar="N,P",
+                   help="with --families: N bound variants x P processor "
+                   "counts per family (default 4,3)")
     p.add_argument("--spawn", action="store_true",
                    help="launch a private server subprocess on an ephemeral "
                    "port, load it, then drain it")
@@ -330,6 +449,8 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
                    help="--workers for the spawned server")
     p.add_argument("--spawn-cache-dir", default=None, metavar="DIR",
                    help="--cache-dir for the spawned server")
+    p.add_argument("--spawn-plan-cache", action="store_true",
+                   help="--plan-cache for the spawned server")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the stats dict as JSON")
     return p
@@ -345,6 +466,14 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
         parser.error(f"--requests must be >= 1, got {args.requests}")
     if args.generated < 0:
         parser.error(f"--generated must be >= 0, got {args.generated}")
+    if args.families < 0:
+        parser.error(f"--families must be >= 0, got {args.families}")
+    try:
+        sweep_n, sweep_p = (int(x) for x in args.sweep.split(","))
+        if sweep_n < 1 or sweep_p < 1:
+            raise ValueError
+    except ValueError:
+        parser.error(f"--sweep must be N,P with both >= 1, got {args.sweep!r}")
     out = out or sys.stdout
 
     corpus = list(PAPER_CORPUS)
@@ -355,20 +484,34 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
     host, port = args.host, args.port
     try:
         if args.spawn:
+            extra = ["--plan-cache"] if args.spawn_plan_cache else []
             proc, port = spawn_server(
-                workers=args.spawn_workers, cache_dir=args.spawn_cache_dir
+                workers=args.spawn_workers,
+                cache_dir=args.spawn_cache_dir,
+                extra_args=extra,
             )
             host = "127.0.0.1"
             print(f"loadgen: spawned server on port {port}", file=out)
-        stats = run_loadgen(
-            host=host,
-            port=port,
-            clients=args.clients,
-            requests=args.requests,
-            corpus=corpus,
-            simulate=args.simulate,
-            deadline_ms=args.deadline_ms,
-        )
+        if args.families:
+            stats = run_family_sweep(
+                host=host,
+                port=port,
+                clients=args.clients,
+                families=args.families,
+                n_variants=sweep_n,
+                p_variants=sweep_p,
+                deadline_ms=args.deadline_ms,
+            )
+        else:
+            stats = run_loadgen(
+                host=host,
+                port=port,
+                clients=args.clients,
+                requests=args.requests,
+                corpus=corpus,
+                simulate=args.simulate,
+                deadline_ms=args.deadline_ms,
+            )
     finally:
         if proc is not None:
             proc.terminate()
@@ -376,6 +519,32 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
                 proc.wait(timeout=30)
             except subprocess.TimeoutExpired:
                 proc.kill()
+
+    if args.families:
+        print(
+            f"loadgen: {stats['completed']}/{stats['requests']} ok across "
+            f"{len(stats['families'])} families, {stats['error_count']} errors "
+            f"in {stats['wall_s']:.2f}s ({stats['throughput_rps']:.1f} req/s)",
+            file=out,
+        )
+        for entry in stats["families"]:
+            plan = entry["plan"]
+            rate = plan.get("hit_rate")
+            rate_text = f"{rate * 100:.0f}%" if rate is not None else "n/a"
+            print(
+                f"  family {entry['family']}: {entry['completed']}/"
+                f"{entry['requests']} ok, plan hits {plan['hits']} "
+                f"misses {plan['misses']} fallbacks {plan['fallbacks']} "
+                f"(hit rate {rate_text}), p50 "
+                f"{entry['latency_ms']['p50']:.1f} ms",
+                file=out,
+            )
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(stats, fh, indent=2)
+                fh.write("\n")
+            print(f"stats -> {args.json}", file=out)
+        return 1 if stats["error_count"] else 0
 
     lat = stats["latency_ms"]
     print(

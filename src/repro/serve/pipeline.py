@@ -31,6 +31,7 @@ import os
 import time
 
 from ..core.partitioner import LoopPartitioner
+from ..core.plan import DEFAULT_PLAN_CACHE
 from ..exceptions import ReproError
 from ..lang import lower_nest, parse_program
 from ..lattice import (
@@ -65,7 +66,11 @@ def execute_request(request: PartitionRequest) -> dict:
         node = program.nests[0]
         nest = lower_nest(node, dict(request.bindings))
         part = LoopPartitioner(nest, request.processors)
-        result = part.partition(method=request.method, cache=DEFAULT_LATTICE_CACHE)
+        result = part.partition(
+            method=request.method,
+            cache=DEFAULT_LATTICE_CACHE,
+            plan_cache=DEFAULT_PLAN_CACHE if _PLAN_ENABLED else None,
+        )
         sim = None
         if request.simulate:
             machine = Machine(MachineConfig(processors=request.processors))
@@ -105,22 +110,56 @@ def execute_request(request: PartitionRequest) -> dict:
 #: travels with each batch result.
 _shipped_lattice: set = set()
 _shipped_footprint: set = set()
+_shipped_plan: set = set()
+
+#: Whether this worker routes theorem-4 optimisation through the plan
+#: cache (set by :func:`init_worker` from the server's ``--plan-cache``).
+_PLAN_ENABLED = False
+
+#: Plan-cache counter snapshot at the last ship-back, so each batch
+#: result carries only the delta accrued since.
+_plan_stats_base: dict = {}
 
 
-def init_worker(cache_dir: str | None = None) -> None:
+def init_worker(cache_dir: str | None = None, plan_cache: bool = False) -> None:
     """Pool initializer: hydrate the child's analytic caches.
 
     Under the ``fork`` start method children inherit the parent's warm
     caches for free; under ``spawn`` they start cold, so the warm-start
     snapshot is loaded explicitly.  Entries present at startup are marked
-    shipped — the parent already has them.
+    shipped — the parent already has them.  ``plan_cache`` turns on the
+    structure-keyed plan tier for every request this worker runs.
     """
+    global _PLAN_ENABLED, _plan_stats_base
+    _PLAN_ENABLED = bool(plan_cache)
     if cache_dir:
         from ..lattice.persist import load_caches
 
         load_caches(cache_dir)
     _shipped_lattice.update(k for k, _ in DEFAULT_LATTICE_CACHE.export_entries())
     _shipped_footprint.update(k for k, _ in DEFAULT_FOOTPRINT_TABLE.export_entries())
+    _shipped_plan.update(k for k, _ in DEFAULT_PLAN_CACHE.export_entries())
+    _plan_stats_base = DEFAULT_PLAN_CACHE.export_stats()
+
+
+def _plan_delta() -> dict:
+    """Fresh plan entries + counter deltas since the last ship-back."""
+    global _plan_stats_base
+    entries = _fresh_entries(DEFAULT_PLAN_CACHE, _shipped_plan)
+    now = DEFAULT_PLAN_CACHE.export_stats()
+    base = _plan_stats_base
+    stats = {
+        "hits": now["hits"] - base.get("hits", 0),
+        "misses": now["misses"] - base.get("misses", 0),
+        "fallbacks": now["fallbacks"] - base.get("fallbacks", 0),
+        "fallback_reasons": {
+            reason: n - base.get("fallback_reasons", {}).get(reason, 0)
+            for reason, n in now["fallback_reasons"].items()
+            if n - base.get("fallback_reasons", {}).get(reason, 0)
+        },
+    }
+    _plan_stats_base = now
+    return {"entries": entries, "stats": stats}
 
 
 def _fresh_entries(cache, shipped: set) -> list:
@@ -153,17 +192,19 @@ def _compute_meta(request_id: str | None, compute_s: float, ship_traces: bool) -
 def run_batch(
     items: list[tuple[PartitionRequest, str | None]],
     ship_traces: bool = True,
-) -> tuple[list[tuple[str, dict, dict]], list, list]:
+) -> tuple[list[tuple[str, dict, dict]], list, list, dict]:
     """Execute a micro-batch of requests in this worker process.
 
     ``items`` pairs each request with the server-minted request id.
-    Returns ``(outcomes, new_lattice_entries, new_footprint_entries)``
-    where each outcome is ``("ok", report, meta)`` or
+    Returns ``(outcomes, new_lattice_entries, new_footprint_entries,
+    plan_delta)`` where each outcome is ``("ok", report, meta)`` or
     ``("error", payload, meta)`` with ``payload`` in the protocol's
-    error shape plus a ``status`` the server strips before sending, and
-    ``meta`` the telemetry of :func:`_compute_meta`.  Exceptions never
-    escape: one poisoned request must not take down its batch-mates
-    (their futures would all fail) or the worker.
+    error shape plus a ``status`` the server strips before sending,
+    ``meta`` the telemetry of :func:`_compute_meta`, and ``plan_delta``
+    the plan cache's fresh entries and counter deltas
+    (``{"entries": [...], "stats": {...}}``).  Exceptions never escape:
+    one poisoned request must not take down its batch-mates (their
+    futures would all fail) or the worker.
     """
     outcomes: list[tuple[str, dict, dict]] = []
     for request, request_id in items:
@@ -186,4 +227,5 @@ def run_batch(
         outcomes,
         _fresh_entries(DEFAULT_LATTICE_CACHE, _shipped_lattice),
         _fresh_entries(DEFAULT_FOOTPRINT_TABLE, _shipped_footprint),
+        _plan_delta(),
     )

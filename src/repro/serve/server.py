@@ -118,6 +118,7 @@ class ServeConfig:
     slo_error_rate: float = 0.01
     flight_capacity: int = 512
     trace_requests: bool = True  # ship worker span trees back per request
+    plan_cache: bool = False  # route theorem-4 optimisation through plans
 
 
 class _HttpError(Exception):
@@ -236,6 +237,7 @@ class PartitionServer:
             window_s=self.config.batch_window_ms / 1000.0,
             max_batch=self.config.max_batch,
             ship_traces=self.config.trace_requests,
+            plan_cache=self.config.plan_cache,
         )
         self._metrics = get_registry()
         self._flight = FlightRecorder(max(self.config.flight_capacity, 1))
@@ -740,6 +742,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
                    "(feeds the serve.slo.error_burn gauge)")
     p.add_argument("--flight-capacity", type=int, default=512, metavar="N",
                    help="per-request flight-recorder ring size")
+    p.add_argument("--plan-cache", action="store_true",
+                   help="solve the Sec 3.6 closed forms once per loop "
+                   "structure and instantiate cached plans per request "
+                   "(falls back to the numeric optimizer when a structure "
+                   "has no closed form)")
     p.add_argument("--no-request-traces", action="store_true",
                    help="do not ship worker span trees back per request "
                    "(/debug/requests/<id> loses stitched traces; used to "
@@ -778,6 +785,7 @@ def serve_main(argv: list[str] | None = None, *, out=None) -> int:
         slo_error_rate=args.slo_error_rate,
         flight_capacity=args.flight_capacity,
         trace_requests=not args.no_request_traces,
+        plan_cache=args.plan_cache,
     )
 
     async def run() -> None:

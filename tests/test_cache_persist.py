@@ -203,9 +203,12 @@ EndDoall
         assert (cache_dir / CACHE_FILENAME).exists()
         assert "caches" in r1
         stats1 = r1["caches"]
-        assert set(stats1) == {"footprint_table", "lattice_cache"}
-        for section in stats1.values():
-            assert set(section) == {"entries", "hits", "misses", "loads"}
+        assert set(stats1) == {"footprint_table", "lattice_cache", "plan"}
+        for name, section in stats1.items():
+            expected = {"entries", "hits", "misses", "loads"}
+            if name == "plan":
+                expected |= {"fallbacks"}
+            assert set(section) == expected
 
         # Second run warm-starts from the persisted file.  The DEFAULT
         # caches live in-process, so isolate the child run in a fresh

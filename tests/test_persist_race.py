@@ -15,6 +15,7 @@ import time
 
 import pytest
 
+from repro.core.plan import PlanCache
 from repro.lattice import persist
 from repro.lattice.points import FootprintTable, LatticeCountCache
 
@@ -31,7 +32,10 @@ def _writer_proc(cache_dir: str, writer: int, count: int, barrier) -> None:
     barrier.wait()  # maximise overlap of the two read-merge-writes
     for _ in range(5):
         persist.save_caches(
-            cache_dir, footprint_table=table, lattice_cache=empty
+            cache_dir,
+            footprint_table=table,
+            lattice_cache=empty,
+            plan_cache=PlanCache(),
         )
 
 
@@ -51,7 +55,10 @@ def test_two_writer_union_survives(tmp_path):
 
     merged = FootprintTable()
     loaded = persist.load_caches(
-        str(tmp_path), footprint_table=merged, lattice_cache=LatticeCountCache()
+        str(tmp_path),
+        footprint_table=merged,
+        lattice_cache=LatticeCountCache(),
+        plan_cache=PlanCache(),
     )
     assert loaded == 2 * count
     on_disk = dict(merged.export_entries())
@@ -65,11 +72,19 @@ def test_two_writer_union_survives(tmp_path):
 def test_save_merges_with_existing_file(tmp_path):
     a = FootprintTable()
     a.absorb_entries(_synthetic_entries(1, 10))
-    persist.save_caches(str(tmp_path), footprint_table=a, lattice_cache=LatticeCountCache())
+    persist.save_caches(
+        str(tmp_path),
+        footprint_table=a,
+        lattice_cache=LatticeCountCache(),
+        plan_cache=PlanCache(),
+    )
     b = FootprintTable()
     b.absorb_entries(_synthetic_entries(2, 10))
     written = persist.save_caches(
-        str(tmp_path), footprint_table=b, lattice_cache=LatticeCountCache()
+        str(tmp_path),
+        footprint_table=b,
+        lattice_cache=LatticeCountCache(),
+        plan_cache=PlanCache(),
     )
     assert written == 20
 
@@ -82,7 +97,10 @@ def test_stale_lock_is_broken(tmp_path, monkeypatch):
     t = FootprintTable()
     t.absorb_entries(_synthetic_entries(3, 3))
     written = persist.save_caches(
-        str(tmp_path), footprint_table=t, lattice_cache=LatticeCountCache()
+        str(tmp_path),
+        footprint_table=t,
+        lattice_cache=LatticeCountCache(),
+        plan_cache=PlanCache(),
     )
     assert written == 3
     assert not lock.exists()

@@ -91,6 +91,60 @@ def test_serve_matches_cli_json_report(
     assert _normalize(serve_report) == _normalize(cli_report)
 
 
+@pytest.fixture(scope="module")
+def plan_server():
+    with EmbeddedServer(ServeConfig(port=0, workers=1, plan_cache=True)) as emb:
+        yield emb
+
+
+@pytest.mark.parametrize("filename,bindings,processors", EXAMPLES)
+def test_serve_plan_cache_matches_cli_json_report(
+    plan_server, tmp_path, filename, bindings, processors
+):
+    """The contract holds with the plan cache on, on both sides.
+
+    The plan tier replicates the numeric optimizer's arithmetic exactly
+    (or falls back to it), and its spans fire identically on hits and
+    misses, so a ``--plan-cache`` server and a ``--plan-cache`` CLI run
+    must still produce byte-identical reports — partition, predictions,
+    and span structure included.
+    """
+    path = EXAMPLES_DIR / filename
+    simulate = filename in SIMULATED
+
+    report_path = tmp_path / "cli.json"
+    argv = [str(path), "-p", str(processors), "--plan-cache"]
+    for name, value in bindings.items():
+        argv += ["-D", f"{name}={value}"]
+    if simulate:
+        argv += ["--simulate"]
+    argv += ["--json-report", str(report_path)]
+    import io
+
+    assert cli_main(argv, out=io.StringIO()) == 0
+    cli_report = json.loads(report_path.read_text())
+    assert any(
+        s["name"].startswith("optimize.plan") for s in _flatten(cli_report["spans"])
+    ), "CLI --plan-cache run must record plan spans"
+
+    with ServeClient("127.0.0.1", plan_server.port) as client:
+        serve_report = client.partition(
+            path.read_text(),
+            processors,
+            bindings=bindings or None,
+            simulate=simulate or None,
+            label=str(path),
+        )
+
+    assert _normalize(serve_report) == _normalize(cli_report)
+
+
+def _flatten(spans):
+    for s in spans:
+        yield s
+        yield from _flatten(s.get("children", []))
+
+
 def test_normalization_is_not_vacuous(server):
     """Guard the guard: _normalize must keep the load-bearing sections."""
     path = EXAMPLES_DIR / "example3.doall"
