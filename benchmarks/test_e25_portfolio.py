@@ -1,0 +1,167 @@
+"""E25 — optimizer portfolio: SLSQP + simulated annealing over Theorem 2.
+
+Not a paper figure: this benchmark guards the parallelepiped portfolio
+claims.  For each paper program it runs the Theorem-2 optimizer three
+ways — SLSQP-alone, anneal-alone, and the full portfolio — and records
+objectives and per-member latency:
+
+* the portfolio is never Theorem-2-costlier than either member alone or
+  the rectangular baseline (the merge keeps the cheapest *feasible*
+  candidate, rectangular diagonal included);
+* on at least one paper program where SLSQP previously fell back — the
+  pinned witness is Example 8's 2:3:4 stencil at N=24, P=500, where
+  SLSQP's continuous optimum has no feasible integer rounding and the
+  pre-portfolio optimizer raised ``OptimizationError`` — the anneal
+  member (and hence the portfolio) must win with a *strictly lower*
+  objective than SLSQP-alone delivers;
+* every reported improvement is >= 0.
+
+With ``REPRO_BENCH_REPORTS`` set the numbers land in
+``BENCH_portfolio.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import partition_references
+from repro.core.optimize import optimize_parallelepiped
+from repro.exceptions import OptimizationError, SingularMatrixError
+
+from .paper_programs import example3, example6, example8, example9, example10, figure9
+from .reporting import write_bench_report
+
+#: (label, nest factory args, processors).  The last entry is the pinned
+#: SLSQP-fallback witness: at N=24, P=500 the continuous SLSQP optimum
+#: cannot be rounded to a feasible integer tile.
+PROGRAMS = [
+    ("example3", lambda: example3(36), 16),
+    ("example6", lambda: example6(), 25),
+    ("example8", lambda: example8(24), 8),
+    ("example9", lambda: example9(36), 16),
+    ("example10", lambda: example10(36), 16),
+    ("figure9", lambda: figure9(8), 8),
+    ("example8_p500", lambda: example8(24), 500),
+]
+
+FALLBACK_WITNESS = "example8_p500"
+
+
+def _run_variant(uisets, nest, processors, members=None):
+    kwargs = {"members": members} if members else {}
+    try:
+        return optimize_parallelepiped(
+            uisets,
+            nest.space.volume / processors,
+            depth=nest.depth,
+            max_extents=nest.space.extents,
+            **kwargs,
+        )
+    except (OptimizationError, SingularMatrixError):
+        return None
+
+
+def run_portfolio_bench() -> dict:
+    rows = {}
+    for label, make, processors in PROGRAMS:
+        nest = make()
+        uisets = partition_references(nest.accesses)
+        slsqp = _run_variant(uisets, nest, processors, members=("slsqp",))
+        anneal = _run_variant(uisets, nest, processors, members=("anneal",))
+        full = _run_variant(uisets, nest, processors)
+        row = {"processors": processors}
+        for name, res in (("slsqp", slsqp), ("anneal", anneal), ("portfolio", full)):
+            if res is None:
+                row[name] = None
+                continue
+            row[name] = {
+                "objective": float(res.objective),
+                "rectangular_objective": float(res.rectangular_objective),
+                "improvement": float(res.improvement),
+                "winner": res.winner,
+                "member_seconds": dict(res.member_seconds),
+                "tile_det": abs(float(np.linalg.det(res.tile.l_matrix.astype(float)))),
+            }
+        rows[label] = row
+    return rows
+
+
+def _check_portfolio_dominates(rows: dict) -> list[str]:
+    problems = []
+    for label, row in rows.items():
+        full = row["portfolio"]
+        if full is None:
+            continue
+        if full["improvement"] < 0:
+            problems.append(f"{label}: improvement {full['improvement']} < 0")
+        if full["objective"] > full["rectangular_objective"] * (1 + 1e-9) + 1e-9:
+            problems.append(
+                f"{label}: portfolio {full['objective']} costlier than "
+                f"rectangular {full['rectangular_objective']}"
+            )
+        for member in ("slsqp", "anneal"):
+            alone = row[member]
+            if alone is not None and full["objective"] > alone["objective"] * (1 + 1e-9) + 1e-9:
+                problems.append(
+                    f"{label}: portfolio {full['objective']} costlier than "
+                    f"{member}-alone {alone['objective']}"
+                )
+    return problems
+
+
+def test_portfolio_never_loses_and_rescues_fallback(benchmark):
+    rows = benchmark.pedantic(run_portfolio_bench, rounds=1, iterations=1)
+
+    problems = _check_portfolio_dominates(rows)
+    assert not problems, problems
+
+    # The gate: on the pinned program where SLSQP previously fell back
+    # (the pre-portfolio code raised — no integer rounding of its
+    # continuous optimum exists), anneal and the portfolio must beat what
+    # SLSQP-alone now delivers, strictly.
+    witness = rows[FALLBACK_WITNESS]
+    assert witness["slsqp"] is not None and witness["portfolio"] is not None
+    assert witness["slsqp"]["winner"] == "rectangular", (
+        "witness drifted: SLSQP found a roundable optimum",
+        witness["slsqp"],
+    )
+    assert witness["portfolio"]["objective"] < witness["slsqp"]["objective"], witness
+    assert witness["anneal"]["objective"] < witness["slsqp"]["objective"], witness
+    assert witness["portfolio"]["winner"] == "anneal", witness
+
+    from repro.core import estimate_traffic
+
+    label, make, processors = PROGRAMS[-1]
+    nest = make()
+    uisets = partition_references(nest.accesses)
+    full = _run_variant(uisets, nest, processors)
+    write_bench_report(
+        "portfolio",
+        processors=500,
+        estimate=estimate_traffic(uisets, full.tile),
+        program={
+            "workload": "paper-program portfolio sweep "
+            f"({len(PROGRAMS)} programs; witness {FALLBACK_WITNESS})",
+            "source": "B(i-1,j,k+1) + B(i,j+1,k) + B(i+1,j-2,k-3)",
+        },
+        meta={
+            "portfolio": rows,
+            "fallback_witness": FALLBACK_WITNESS,
+        },
+    )
+
+
+def test_portfolio_smoke():
+    """Marker-free quick check for CI's timing guard: the witness program
+    alone — portfolio feasible, strictly beating SLSQP-alone, no
+    wall-clock assertions."""
+    label, make, processors = PROGRAMS[-1]
+    assert label == FALLBACK_WITNESS
+    nest = make()
+    uisets = partition_references(nest.accesses)
+    slsqp = _run_variant(uisets, nest, processors, members=("slsqp",))
+    full = _run_variant(uisets, nest, processors)
+    assert slsqp is not None and full is not None
+    assert slsqp.winner == "rectangular"  # SLSQP optimum unroundable here
+    assert full.objective < slsqp.objective
+    assert full.improvement >= 0.0

@@ -148,10 +148,39 @@ def _inject_plan():
         _plan.DEFAULT_PLAN_CACHE.clear()
 
 
+@contextmanager
+def _inject_anneal():
+    """Annealer claims an objective 4x better than its matrix achieves.
+
+    Exercises the portfolio oracles end to end: the lying member wins
+    the deterministic merge (its claimed score beats everything), and
+    ``pepiped-objective-consistent`` must flag the mismatch between the
+    claimed objective and the Theorem-2 objective recomputed from the
+    returned ``L``.  Both the defining module and the binding
+    ``optimize`` imported by name are patched.
+    """
+    import dataclasses
+
+    from ..core import anneal as _anneal
+
+    orig = _anneal.anneal_parallelepiped
+
+    def bad(objective, start, volume, **kw):
+        result = orig(objective, start, volume, **kw)
+        if result is None:
+            return result
+        return dataclasses.replace(result, objective=result.objective * 0.25)
+
+    with _patched(_anneal, "anneal_parallelepiped", bad):
+        with _patched(_opt, "anneal_parallelepiped", bad):
+            yield
+
+
 FAULTS = {
     "spread": _inject_spread,
     "exact-count": _inject_exact_count,
     "plan": _inject_plan,
+    "anneal": _inject_anneal,
 }
 
 
@@ -229,6 +258,27 @@ def run_case(spec: CaseSpec, config: CheckConfig | None = None) -> CaseArtifacts
                 # deficient (Theorem 2 objective undefined).  Not a
                 # violation.
                 art.tally.hit("parallelepiped-infeasible")
+            if art.pepiped is not None:
+                # Members-alone runs for the portfolio-never-loses oracle
+                # (each reuses the portfolio's seeds, so it is a candidate
+                # subset the merge must dominate).
+                for member, attr in (
+                    ("slsqp", "pepiped_slsqp"),
+                    ("anneal", "pepiped_anneal"),
+                ):
+                    try:
+                        setattr(
+                            art,
+                            attr,
+                            optimize_parallelepiped(
+                                art.uisets,
+                                spec.volume / spec.processors,
+                                max_extents=art.nest.space.extents,
+                                members=(member,),
+                            ),
+                        )
+                    except (OptimizationError, SingularMatrixError):
+                        art.tally.hit(f"parallelepiped-{member}-infeasible")
 
         from ..codegen.schedule import TileSchedule
         from ..codegen.emit import emit_pseudocode

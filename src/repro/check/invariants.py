@@ -82,6 +82,8 @@ class CaseArtifacts:
     emitted: str | None
     numeric_rect: object | None = None  # RectOptResult, theorem-4 scoring
     plan_result: object | None = None  # plan-tier RectOptResult (None = fallback)
+    pepiped_slsqp: object | None = None  # SLSQP-alone portfolio result
+    pepiped_anneal: object | None = None  # anneal-alone portfolio result
     violations: list[Violation] = field(default_factory=list)
     tally: Tally = field(default_factory=Tally)
 
@@ -283,6 +285,77 @@ def check_integerisation(art: CaseArtifacts, *, round_det_tol: float) -> None:
                 "pepiped-improvement",
                 f"claimed improvement {claimed} != (rect-obj)/rect {actual}",
             )
+
+
+def check_portfolio(art: CaseArtifacts, *, eps: float = 1e-6) -> None:
+    """The optimizer portfolio never loses to its members or lies.
+
+    * ``pepiped-improvement-nonneg`` — the reported ``improvement`` is
+      never negative (the rectangular diagonal is always a portfolio
+      member, so a worse member must not surface as the result);
+    * ``pepiped-objective-consistent`` — every claimed objective
+      (portfolio and members-alone) matches the Theorem-2 objective
+      recomputed from the returned ``L`` matrix (catches a member that
+      reports a better score than its matrix achieves — the ``anneal``
+      fault);
+    * ``portfolio-never-loses`` — the portfolio objective is no worse
+      than SLSQP-alone, anneal-alone, or the rectangular baseline
+      (member runs share the portfolio's seeds, so each alone-run is a
+      candidate subset and the merge must dominate it).
+    """
+    from ..core.optimize import _theorem2_objective
+
+    pe = art.pepiped
+    if pe is None:
+        return
+
+    art.tally.hit("pepiped-improvement-nonneg")
+    if pe.improvement < 0:
+        art.fail(
+            "pepiped-improvement-nonneg",
+            f"portfolio reported improvement {pe.improvement} < 0 "
+            f"(winner {pe.winner})",
+        )
+
+    for name, res in (
+        ("portfolio", pe),
+        ("slsqp-alone", art.pepiped_slsqp),
+        ("anneal-alone", art.pepiped_anneal),
+    ):
+        if res is None:
+            continue
+        art.tally.hit("pepiped-objective-consistent")
+        l = res.l_matrix.shape[0]
+        recomputed = _theorem2_objective(
+            art.uisets, np.asarray(res.l_matrix, dtype=float).ravel(), l
+        )
+        denom = max(abs(recomputed), 1.0)
+        if abs(res.objective - recomputed) > eps * denom:
+            art.fail(
+                "pepiped-objective-consistent",
+                f"{name}: claimed objective {res.objective} != Theorem-2 "
+                f"objective {recomputed} recomputed from its L matrix",
+            )
+
+    for name, res in (
+        ("slsqp-alone", art.pepiped_slsqp),
+        ("anneal-alone", art.pepiped_anneal),
+    ):
+        if res is None:
+            continue
+        art.tally.hit("portfolio-never-loses")
+        if pe.objective > res.objective * (1.0 + eps) + eps:
+            art.fail(
+                "portfolio-never-loses",
+                f"portfolio objective {pe.objective} (winner {pe.winner}) "
+                f"costlier than {name} objective {res.objective}",
+            )
+    if pe.objective <= pe.rectangular_objective * (1.0 + eps) + eps:
+        art.tally.hit("portfolio-never-loses")
+    else:
+        # Only legal when the continuous diagonal itself has no feasible
+        # integer rounding (it was a candidate and lost on feasibility).
+        art.tally.hit("pepiped-rect-unroundable")
 
 
 def check_codegen(art: CaseArtifacts) -> None:
@@ -494,6 +567,7 @@ def run_invariants(art: CaseArtifacts, *, round_det_tol: float) -> None:
     check_classification(art)
     check_theorem_chain(art)
     check_integerisation(art, round_det_tol=round_det_tol)
+    check_portfolio(art)
     check_codegen(art)
     check_engine_parity(art)
     check_simulation_model(art)

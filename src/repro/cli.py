@@ -6,6 +6,7 @@
                                   [--simulate] [--sweeps 2]
                                   [--engine auto|fast|exact] [--workers N]
                                   [--cache-dir DIR] [--plan-cache]
+                                  [--opt-budget SECONDS]
                                   [--pseudocode 0,1] [--data]
                                   [--json-report out.json]
                                   [--trace-out trace.jsonl] [--trace-sample 10]
@@ -115,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
         "when no closed form applies (plans persist via --cache-dir)",
     )
     p.add_argument(
+        "--opt-budget",
+        type=float,
+        metavar="SECONDS",
+        help="wall-time budget per parallelepiped portfolio member (SLSQP, "
+        "simulated annealing); members stop at deterministic checkpoints "
+        "when it runs out — unbudgeted runs are bit-reproducible",
+    )
+    p.add_argument(
         "--pseudocode",
         metavar="PROCS",
         help="emit pseudo-code for a comma-separated processor list",
@@ -214,6 +223,8 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
         parser.error(f"--trace-sample must be >= 1, got {args.trace_sample}")
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.opt_budget is not None and args.opt_budget <= 0:
+        parser.error(f"--opt-budget must be positive, got {args.opt_budget}")
     out = out or sys.stdout
 
     def emit(text: str = "") -> None:
@@ -288,6 +299,7 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
             workers=args.workers or 1,
             cache=DEFAULT_LATTICE_CACHE if cache_dir else None,
             plan_cache=DEFAULT_PLAN_CACHE if args.plan_cache else None,
+            opt_budget_s=args.opt_budget,
         )
     except ReproError as e:
         emit(f"error: {e}")

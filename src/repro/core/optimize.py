@@ -26,7 +26,9 @@ Three solvers:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
+from functools import partial
 from itertools import combinations, product
 
 import numpy as np
@@ -35,7 +37,9 @@ from ..exceptions import OptimizationError, SingularMatrixError
 from ..lattice.points import LatticeCountCache
 from ..lattice.snf import integer_kernel_basis, solve_integer
 from ..obs.log import get_logger
+from ..obs.metrics import get_registry
 from ..obs.tracing import span as _span
+from .anneal import AnnealConfig, anneal_parallelepiped
 from .classify import UISet, partition_references
 from .cumulative import (
     cumulative_footprint_rect,
@@ -52,6 +56,7 @@ __all__ = [
     "ParallelepipedOptResult",
     "optimize_rectangular",
     "optimize_parallelepiped",
+    "PORTFOLIO_MEMBERS",
     "communication_free_partition",
     "factorizations",
     "rect_cost_coefficients",
@@ -513,6 +518,12 @@ class ParallelepipedOptResult:
     ``l_matrix`` is the continuous optimum; ``tile`` its integer rounding
     (rows scaled to preserve volume approximately).  ``objective`` is the
     Theorem 2 cumulative footprint at the continuous optimum.
+
+    ``winner`` names the portfolio member whose matrix was kept
+    (``rectangular`` / ``slsqp`` / ``anneal``); ``member_objectives`` and
+    ``member_seconds`` record, per member that ran, its best continuous
+    objective (``None`` when the member produced nothing feasible) and
+    its wall time — the raw material of the ``opt.portfolio.*`` metrics.
     """
 
     l_matrix: np.ndarray
@@ -520,6 +531,9 @@ class ParallelepipedOptResult:
     objective: float
     rectangular_objective: float
     improvement: float = field(default=0.0)
+    winner: str = "slsqp"
+    member_objectives: dict = field(default_factory=dict)
+    member_seconds: dict = field(default_factory=dict)
 
 
 def _theorem2_objective(uisets: list[UISet], l_flat: np.ndarray, l_dim: int) -> float:
@@ -538,64 +552,33 @@ class _FloatTile:
         self.l_matrix = lm
 
 
-def optimize_parallelepiped(
-    accesses_or_sets,
-    volume: float,
-    *,
-    depth: int | None = None,
-    extra_starts: int = 4,
-    seed: int = 0,
-    max_extents=None,
-) -> ParallelepipedOptResult:
-    """Minimise the Theorem 2 objective over hyperparallelepiped tiles.
+#: Portfolio members in deterministic merge-priority order: on objective
+#: ties the earlier name wins, and the implicit rectangular baseline
+#: always outranks both (so a member that merely matches the diagonal
+#: never displaces it).
+PORTFOLIO_MEMBERS = ("slsqp", "anneal")
 
-    Constrained minimisation of ``Σ_classes [|det LG| + Σ_i |det LG_{i→â}|]``
-    subject to ``det L = V`` (SLSQP).  Deterministic multi-start:
+
+def _slsqp_starts(
+    uisets: list[UISet],
+    l: int,
+    v: float,
+    sides: np.ndarray,
+    *,
+    seed: int,
+    extra_starts: int,
+) -> list[np.ndarray]:
+    """The deterministic multi-start set of the SLSQP member.
 
     * the rectangular Lagrange optimum (diagonal L);
     * for each class, a skew start whose first row is aligned with the
-      class spread direction mapped back to iteration space (the direction
-      that internalises the inter-reference reuse, cf. Example 3);
+      class spread direction mapped back to iteration space (the
+      direction that internalises the inter-reference reuse, cf.
+      Example 3), plus a strongly-skewed long-thin variant;
     * ``extra_starts`` seeded random perturbations.
-
-    ``max_extents`` bounds each entry of ``L`` (tile edges cannot exceed
-    the iteration-space extents — without this, objectives like Example
-    3's improve without limit as the skew grows).  Defaults to
-    ``3·V^(1/l)`` per dimension.
-
-    Returns the best continuous ``L`` plus an integer rounding.
     """
-    from scipy.optimize import NonlinearConstraint, minimize
-
-    uisets = _as_uisets(accesses_or_sets)
-    if depth is None:
-        depth = uisets[0].g.shape[0]
-    l = depth
-    v = float(volume)
-    if max_extents is None:
-        max_extents = np.full(l, 3.0 * v ** (1.0 / l))
-    else:
-        max_extents = np.asarray(max_extents, dtype=float)
-    var_bounds = [
-        (-float(max_extents[j]), float(max_extents[j]))
-        for _i in range(l)
-        for j in range(l)
-    ]
-
-    # Rectangular baseline for starts and for the reported improvement.
-    try:
-        a = rect_cost_coefficients(uisets, l)
-    except OptimizationError:
-        a = np.ones(l)
-    if not np.any(a):
-        a = np.ones(l)
-    # Communication-free dims (a_i = 0) would zero the naive s_i ∝ a_i
-    # start; the Lagrange solver widens them to the full extent instead.
-    sides = _continuous_lagrange(a, max_extents, v)
     diag_start = np.diag(sides)
     side = float(np.mean(sides))
-    rect_obj = _theorem2_objective(uisets, diag_start.ravel(), l)
-
     starts = [diag_start]
     for s in uisets:
         if s.size < 2 or not np.any(s.spread()):
@@ -621,7 +604,37 @@ def optimize_parallelepiped(
     rng = np.random.default_rng(seed)
     for _ in range(extra_starts):
         starts.append(diag_start + rng.normal(scale=0.3 * side, size=(l, l)))
+    return starts
 
+
+def _slsqp_member(
+    uisets: list[UISet],
+    l: int,
+    v: float,
+    sides: np.ndarray,
+    max_extents: np.ndarray,
+    *,
+    seed: int,
+    extra_starts: int,
+    deadline: float | None = None,
+) -> tuple[np.ndarray | None, float]:
+    """Multi-start SLSQP minimisation of the Theorem 2 objective.
+
+    Returns ``(best_x_matrix, best_f)`` or ``(None, inf)`` when no start
+    converged to a point satisfying ``|det L - V|/V < 1e-3``.  With a
+    ``deadline`` (``time.monotonic()`` instant), remaining starts are
+    skipped once it passes — each start that does run is still complete,
+    so results under a budget are a deterministic *prefix* of the
+    budget-less run.
+    """
+    from scipy.optimize import NonlinearConstraint, minimize
+
+    var_bounds = [
+        (-float(max_extents[j]), float(max_extents[j]))
+        for _i in range(l)
+        for j in range(l)
+    ]
+    starts = _slsqp_starts(uisets, l, v, sides, seed=seed, extra_starts=extra_starts)
     det_con = NonlinearConstraint(
         lambda x: np.linalg.det(x.reshape(l, l)), v, v
     )
@@ -629,6 +642,8 @@ def optimize_parallelepiped(
     best_f = np.inf
     with _span("optimize.parallelepiped.minimize", starts=len(starts)):
         for s0 in starts:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
             # Fix the determinant sign of the start.
             if np.linalg.det(s0) < 0:
                 s0 = s0.copy()
@@ -648,37 +663,253 @@ def optimize_parallelepiped(
                 det = np.linalg.det(res.x.reshape(l, l))
                 if abs(det - v) / v < 1e-3:
                     best_f = float(res.fun)
-                    best_x = res.x.copy()
-    if best_x is None:
-        # Graceful degradation: no SLSQP start converged.  A valid nest
-        # must still partition, so fall back to the rectangular Lagrange
-        # solution (a feasible diagonal L) with improvement pinned to 0
-        # instead of hard-failing the whole pipeline.
+                    best_x = res.x.reshape(l, l).copy()
+    return best_x, best_f
+
+
+def _anneal_member(
+    uisets: list[UISet],
+    l: int,
+    v: float,
+    sides: np.ndarray,
+    max_extents: np.ndarray,
+    *,
+    seed: int,
+    config=None,
+    deadline: float | None = None,
+) -> tuple[np.ndarray | None, float]:
+    """Seeded simulated annealing over ``L`` (see :mod:`repro.core.anneal`)."""
+    result = anneal_parallelepiped(
+        partial(_theorem2_objective, uisets, l_dim=l),
+        np.diag(sides),
+        v,
+        max_extents=max_extents,
+        seed=seed,
+        config=config,
+        deadline=deadline,
+    )
+    if result is None:
+        return None, np.inf
+    return result.l_matrix, float(result.objective)
+
+
+def _run_portfolio_member(
+    member: str,
+    uisets: list[UISet],
+    l: int,
+    v: float,
+    sides: np.ndarray,
+    max_extents: np.ndarray,
+    seed: int,
+    extra_starts: int,
+    budget_s: float | None,
+    anneal_config,
+) -> tuple[str, np.ndarray | None, float, float]:
+    """Run one portfolio member; module-level so a process pool can pickle it.
+
+    The budget travels as a *duration* (not an absolute deadline): a pool
+    child's clock starts when the task does, so each member gets at most
+    ``budget_s`` of its own wall time.  Returns
+    ``(member, matrix_or_None, objective, elapsed_s)``.
+    """
+    deadline = time.monotonic() + budget_s if budget_s is not None else None
+    t0 = time.perf_counter()
+    if member == "slsqp":
+        lm, obj = _slsqp_member(
+            uisets, l, v, sides, max_extents,
+            seed=seed, extra_starts=extra_starts, deadline=deadline,
+        )
+    elif member == "anneal":
+        lm, obj = _anneal_member(
+            uisets, l, v, sides, max_extents,
+            seed=seed, config=anneal_config, deadline=deadline,
+        )
+    else:  # pragma: no cover - caller validates
+        raise ValueError(f"unknown portfolio member {member!r}")
+    return member, lm, obj, time.perf_counter() - t0
+
+
+def optimize_parallelepiped(
+    accesses_or_sets,
+    volume: float,
+    *,
+    depth: int | None = None,
+    extra_starts: int = 4,
+    seed: int = 0,
+    max_extents=None,
+    members: tuple[str, ...] = PORTFOLIO_MEMBERS,
+    budget_s: float | None = None,
+    workers: int = 1,
+    anneal_config=None,
+) -> ParallelepipedOptResult:
+    """Minimise the Theorem 2 objective over hyperparallelepiped tiles.
+
+    Runs a *portfolio* of optimizers over
+    ``Σ_classes [|det LG| + Σ_i |det LG_{i→â}|]`` subject to
+    ``|det L| = V``:
+
+    * ``slsqp`` — deterministic multi-start constrained minimisation
+      (the path that finds the skewed tiles of Examples 3/6);
+    * ``anneal`` — seeded simulated annealing over ``L`` with
+      ``|det L| = V`` row-rescale projection (:mod:`repro.core.anneal`),
+      the robust member when SLSQP's starts all fail at depth ≥ 3;
+    * the rectangular Lagrange diagonal is always an implicit member, so
+      the result is never Theorem-2-costlier than the rectangular
+      baseline and ``improvement`` is never negative.
+
+    The merge is deterministic: candidates sort by ``(objective,
+    member priority)`` — rectangular baseline first on ties, then the
+    ``members`` order — and the cheapest candidate that *rounds to a
+    feasible integer tile* (``|det L|`` within tolerance of ``V``) wins.
+
+    ``budget_s`` caps each member's wall time (the ``--opt-budget``
+    knob).  Members stop at deterministic checkpoints (between SLSQP
+    starts, every few annealing steps), so a budget can truncate the
+    search — budget-less runs are bit-reproducible.  ``workers > 1``
+    fans the members out over a process pool (one task per member;
+    results are merged in the same deterministic order as the serial
+    path).
+
+    ``max_extents`` bounds each entry of ``L`` (tile edges cannot exceed
+    the iteration-space extents — without this, objectives like Example
+    3's improve without limit as the skew grows).  Defaults to
+    ``3·V^(1/l)`` per dimension.
+
+    Returns the best continuous ``L`` plus an integer rounding, with the
+    winning member and per-member objectives/timings recorded on the
+    result and in the ``opt.portfolio.*`` metrics.
+    """
+    uisets = _as_uisets(accesses_or_sets)
+    if depth is None:
+        depth = uisets[0].g.shape[0]
+    l = depth
+    v = float(volume)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    unknown = [m for m in members if m not in PORTFOLIO_MEMBERS]
+    if unknown:
+        raise ValueError(
+            f"unknown portfolio member(s) {unknown}; known: {PORTFOLIO_MEMBERS}"
+        )
+    if budget_s is not None and budget_s <= 0:
+        raise ValueError(f"budget_s must be positive, got {budget_s}")
+    if max_extents is None:
+        max_extents = np.full(l, 3.0 * v ** (1.0 / l))
+    else:
+        max_extents = np.asarray(max_extents, dtype=float)
+
+    # Rectangular baseline: the validated Lagrange sides seed every
+    # member's start and anchor the reported improvement.
+    try:
+        a = rect_cost_coefficients(uisets, l)
+    except OptimizationError:
+        a = np.ones(l)
+    if not np.any(a):
+        a = np.ones(l)
+    # Communication-free dims (a_i = 0) would zero the naive s_i ∝ a_i
+    # start; the Lagrange solver widens them to the full extent instead.
+    sides = _continuous_lagrange(a, max_extents, v)
+    diag_start = np.diag(sides)
+    rect_obj = _theorem2_objective(uisets, diag_start.ravel(), l)
+
+    # Run the members — in parallel (one pool task each) or serially in
+    # the declared order, each under its own wall-time budget.
+    ordered = [m for m in PORTFOLIO_MEMBERS if m in members]
+    outcomes: dict[str, tuple[np.ndarray | None, float, float]] = {}
+    with _span(
+        "optimize.portfolio", members=len(ordered), workers=workers
+    ):
+        if workers > 1 and len(ordered) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
+                futures = [
+                    pool.submit(
+                        _run_portfolio_member,
+                        m, uisets, l, v, sides, max_extents,
+                        seed, extra_starts, budget_s, anneal_config,
+                    )
+                    for m in ordered
+                ]
+                for future in futures:
+                    name, lm, obj, elapsed = future.result()
+                    outcomes[name] = (lm, obj, elapsed)
+        else:
+            for m in ordered:
+                name, lm, obj, elapsed = _run_portfolio_member(
+                    m, uisets, l, v, sides, max_extents,
+                    seed, extra_starts, budget_s, anneal_config,
+                )
+                outcomes[name] = (lm, obj, elapsed)
+
+    if "slsqp" in outcomes and outcomes["slsqp"][0] is None:
+        # Graceful degradation (the pre-portfolio failure mode): a valid
+        # nest must still partition, and the rectangular baseline — plus
+        # the anneal member, when enabled — keeps the portfolio feasible.
         logger.warning(
             "parallelepiped optimization: no SLSQP start converged; "
-            "falling back to the rectangular solution (improvement=0)"
+            "portfolio falls back to the remaining members"
         )
-        sides = _continuous_lagrange(np.where(a > 0, a, 0.0), max_extents, v)
-        lm = np.diag(sides)
-        fallback_obj = _theorem2_objective(uisets, lm.ravel(), l)
-        tile = _round_tile(
-            lm, uisets=uisets, volume=abs(float(np.linalg.det(lm)))
+
+    # Deterministic merge: cheapest objective wins; ties go to the
+    # rectangular baseline, then to earlier member priority.  A candidate
+    # only wins if it rounds to a feasible integer tile.
+    candidates: list[tuple[float, int, str, np.ndarray]] = [
+        (rect_obj, 0, "rectangular", diag_start)
+    ]
+    for priority, name in enumerate(ordered, start=1):
+        lm, obj, _elapsed = outcomes[name]
+        if lm is not None and np.isfinite(obj):
+            candidates.append((obj, priority, name, lm))
+    candidates.sort(key=lambda t: (t[0], t[1]))
+
+    winner = None
+    tile = None
+    best_obj = np.inf
+    best_lm = None
+    round_error: OptimizationError | None = None
+    for obj, _priority, name, lm in candidates:
+        try:
+            tile = _round_tile(lm, uisets=uisets, volume=v)
+        except OptimizationError as e:
+            round_error = e
+            continue
+        winner, best_obj, best_lm = name, obj, lm
+        break
+    if winner is None or tile is None or best_lm is None:
+        raise OptimizationError(
+            f"no portfolio member produced a feasible integer tile "
+            f"(members: rectangular + {', '.join(ordered)}): {round_error}"
         )
-        return ParallelepipedOptResult(
-            l_matrix=lm,
-            tile=tile,
-            objective=fallback_obj,
-            rectangular_objective=rect_obj,
-            improvement=0.0,
+
+    reg = get_registry()
+    reg.counter("opt.portfolio.winner", member=winner).inc()
+    for name in ordered:
+        _lm, _obj, elapsed = outcomes[name]
+        reg.counter("opt.portfolio.member_runs", member=name).inc()
+        reg.counter("opt.portfolio.member_ms", member=name).inc(
+            int(elapsed * 1000)
         )
-    lm = best_x.reshape(l, l)
-    tile = _round_tile(lm, uisets=uisets, volume=v)
+
+    member_objectives = {"rectangular": float(rect_obj)}
+    member_seconds = {}
+    for name in ordered:
+        lm, obj, elapsed = outcomes[name]
+        member_objectives[name] = float(obj) if lm is not None else None
+        member_seconds[name] = float(elapsed)
+
     return ParallelepipedOptResult(
-        l_matrix=lm,
+        l_matrix=best_lm,
         tile=tile,
-        objective=best_f,
+        objective=float(best_obj),
         rectangular_objective=rect_obj,
-        improvement=(rect_obj - best_f) / rect_obj if rect_obj else 0.0,
+        # The rectangular diagonal is a portfolio member, so a worse
+        # member can only win when the diagonal itself failed to round —
+        # never report a negative improvement for returning it.
+        improvement=max(0.0, (rect_obj - best_obj) / rect_obj) if rect_obj else 0.0,
+        winner=winner,
+        member_objectives=member_objectives,
+        member_seconds=member_seconds,
     )
 
 
@@ -711,8 +942,11 @@ def _round_tile(
         choices = [sorted({int(x), int(y)}) for x, y in zip(lo, hi)]
         for combo in product(*choices):
             candidates.append(np.array(combo, dtype=np.int64).reshape(l, l))
+    # Diagonal bumps in both directions: rounding can overshoot V as well
+    # as undershoot it, and an overshot |det| needs a −1 step to recover.
     for bump in range(1, 4):
         candidates.append(rounded + bump * np.eye(l, dtype=np.int64))
+        candidates.append(rounded - bump * np.eye(l, dtype=np.int64))
 
     best: tuple | None = None
     best_cand: np.ndarray | None = None

@@ -139,6 +139,7 @@ class LoopPartitioner:
         workers: int = 1,
         cache=None,
         plan_cache=None,
+        opt_budget_s: float | None = None,
     ) -> PartitionResult:
         """Compute the partition.
 
@@ -156,6 +157,9 @@ class LoopPartitioner:
         ``plan_cache`` is an optional :class:`~repro.core.plan.PlanCache`
         consulted before the rectangular grid search (solved structure
         plans instantiate in O(1); inapplicable plans fall back here).
+        ``opt_budget_s`` caps each parallelepiped portfolio member's
+        wall time (the ``--opt-budget`` knob; ``workers`` also fans the
+        portfolio members over the process pool).
         """
         space = self.nest.space
         with span("partition.comm_free"):
@@ -188,6 +192,8 @@ class LoopPartitioner:
                         volume,
                         depth=self.nest.depth,
                         max_extents=space.extents,
+                        budget_s=opt_budget_s,
+                        workers=workers,
                     )
                     est = estimate_traffic(
                         list(self.uisets), pe_res.tile, method="exact"

@@ -47,6 +47,7 @@ class MicroBatcher:
         max_batch: int = 8,
         ship_traces: bool = True,
         plan_cache: bool = False,
+        opt_budget_s: float | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -56,6 +57,7 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.ship_traces = ship_traces
         self.plan_cache = plan_cache
+        self.opt_budget_s = opt_budget_s
         self._pool: ProcessPoolExecutor | None = None
         self._pending: list[tuple[PartitionRequest, str | None, float, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
@@ -71,7 +73,7 @@ class MicroBatcher:
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=init_worker,
-            initargs=(self.cache_dir, self.plan_cache),
+            initargs=(self.cache_dir, self.plan_cache, self.opt_budget_s),
         )
 
     async def drain(self) -> None:

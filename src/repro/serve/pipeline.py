@@ -70,6 +70,7 @@ def execute_request(request: PartitionRequest) -> dict:
             method=request.method,
             cache=DEFAULT_LATTICE_CACHE,
             plan_cache=DEFAULT_PLAN_CACHE if _PLAN_ENABLED else None,
+            opt_budget_s=_OPT_BUDGET_S,
         )
         sim = None
         if request.simulate:
@@ -116,22 +117,34 @@ _shipped_plan: set = set()
 #: cache (set by :func:`init_worker` from the server's ``--plan-cache``).
 _PLAN_ENABLED = False
 
+#: Per-member wall-time budget for the parallelepiped portfolio (set by
+#: :func:`init_worker` from the server's ``--opt-budget``); ``None``
+#: keeps partition responses bit-reproducible.
+_OPT_BUDGET_S: float | None = None
+
 #: Plan-cache counter snapshot at the last ship-back, so each batch
 #: result carries only the delta accrued since.
 _plan_stats_base: dict = {}
 
 
-def init_worker(cache_dir: str | None = None, plan_cache: bool = False) -> None:
+def init_worker(
+    cache_dir: str | None = None,
+    plan_cache: bool = False,
+    opt_budget_s: float | None = None,
+) -> None:
     """Pool initializer: hydrate the child's analytic caches.
 
     Under the ``fork`` start method children inherit the parent's warm
     caches for free; under ``spawn`` they start cold, so the warm-start
     snapshot is loaded explicitly.  Entries present at startup are marked
     shipped — the parent already has them.  ``plan_cache`` turns on the
-    structure-keyed plan tier for every request this worker runs.
+    structure-keyed plan tier for every request this worker runs;
+    ``opt_budget_s`` caps each parallelepiped portfolio member's wall
+    time for every request this worker runs.
     """
-    global _PLAN_ENABLED, _plan_stats_base
+    global _PLAN_ENABLED, _plan_stats_base, _OPT_BUDGET_S
     _PLAN_ENABLED = bool(plan_cache)
+    _OPT_BUDGET_S = opt_budget_s
     if cache_dir:
         from ..lattice.persist import load_caches
 

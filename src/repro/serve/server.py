@@ -119,6 +119,7 @@ class ServeConfig:
     flight_capacity: int = 512
     trace_requests: bool = True  # ship worker span trees back per request
     plan_cache: bool = False  # route theorem-4 optimisation through plans
+    opt_budget_s: float | None = None  # per-member parallelepiped budget
 
 
 class _HttpError(Exception):
@@ -238,6 +239,7 @@ class PartitionServer:
             max_batch=self.config.max_batch,
             ship_traces=self.config.trace_requests,
             plan_cache=self.config.plan_cache,
+            opt_budget_s=self.config.opt_budget_s,
         )
         self._metrics = get_registry()
         self._flight = FlightRecorder(max(self.config.flight_capacity, 1))
@@ -747,6 +749,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
                    "structure and instantiate cached plans per request "
                    "(falls back to the numeric optimizer when a structure "
                    "has no closed form)")
+    p.add_argument("--opt-budget", type=float, default=None, metavar="SECONDS",
+                   help="wall-time budget per parallelepiped portfolio "
+                   "member (SLSQP, simulated annealing) in partition "
+                   "workers; unset keeps responses bit-reproducible")
     p.add_argument("--no-request-traces", action="store_true",
                    help="do not ship worker span trees back per request "
                    "(/debug/requests/<id> loses stitched traces; used to "
@@ -786,6 +792,7 @@ def serve_main(argv: list[str] | None = None, *, out=None) -> int:
         flight_capacity=args.flight_capacity,
         trace_requests=not args.no_request_traces,
         plan_cache=args.plan_cache,
+        opt_budget_s=args.opt_budget,
     )
 
     async def run() -> None:

@@ -1,0 +1,145 @@
+"""Unit tests for the simulated-annealing tile optimizer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.anneal import (
+    AnnealConfig,
+    anneal_parallelepiped,
+    project_det,
+)
+
+
+def _quadratic(target):
+    """A smooth objective minimised at ``target`` (flattened)."""
+
+    def f(l_flat):
+        return float(np.sum((l_flat - target.ravel()) ** 2)) + 1.0
+
+    return f
+
+
+class TestProjectDet:
+    def test_rescales_to_volume(self):
+        lm = np.array([[2.0, 0.5], [0.0, 3.0]])
+        out = project_det(lm, 16.0)
+        assert abs(np.linalg.det(out)) == pytest.approx(16.0)
+
+    def test_preserves_shape(self):
+        """Row rescaling keeps edge-vector directions (ratios of entries)."""
+        lm = np.array([[2.0, 1.0], [0.5, 3.0]])
+        out = project_det(lm, 25.0)
+        assert np.allclose(out / lm, (out / lm)[0, 0])
+
+    def test_singular_returns_none(self):
+        assert project_det(np.zeros((2, 2)), 8.0) is None
+
+    def test_identity_when_already_at_volume(self):
+        lm = np.diag([4.0, 4.0])
+        assert np.allclose(project_det(lm, 16.0), lm)
+
+
+class TestAnnealConfig:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError, match="iterations"):
+            AnnealConfig(iterations=0)
+
+    def test_rejects_bad_restarts(self):
+        with pytest.raises(ValueError, match="restarts"):
+            AnnealConfig(restarts=0)
+
+    def test_rejects_bad_cooling(self):
+        with pytest.raises(ValueError, match="cooling"):
+            AnnealConfig(cooling=1.0)
+
+
+class TestAnnealParallelepiped:
+    def _run(self, seed=0, config=None, deadline=None):
+        start = np.diag([4.0, 4.0])
+        return anneal_parallelepiped(
+            _quadratic(np.diag([2.0, 8.0])),
+            start,
+            16.0,
+            max_extents=np.array([12.0, 12.0]),
+            seed=seed,
+            config=config,
+            deadline=deadline,
+        )
+
+    def test_deterministic_given_seed(self):
+        a, b = self._run(seed=7), self._run(seed=7)
+        assert np.array_equal(a.l_matrix, b.l_matrix)
+        assert a.objective == b.objective
+        assert a.evaluations == b.evaluations
+        assert a.accepted == b.accepted
+
+    def test_seeds_differ(self):
+        a, b = self._run(seed=0), self._run(seed=1)
+        assert not np.array_equal(a.l_matrix, b.l_matrix)
+
+    def test_result_on_constraint_surface(self):
+        res = self._run()
+        assert abs(np.linalg.det(res.l_matrix)) == pytest.approx(16.0, rel=1e-9)
+
+    def test_result_within_bounds(self):
+        res = self._run()
+        # _clamped_project accepts a small projection overshoot.
+        assert np.all(np.abs(res.l_matrix) <= 12.0 * 1.05 + 1e-9)
+
+    def test_improves_on_start(self):
+        start = np.diag([4.0, 4.0])
+        obj = _quadratic(np.diag([2.0, 8.0]))
+        res = self._run()
+        assert res.objective < obj(start.ravel())
+        assert not res.truncated
+        assert res.evaluations > 0
+
+    def test_singular_start_single_restart_returns_none(self):
+        res = anneal_parallelepiped(
+            _quadratic(np.eye(2)),
+            np.zeros((2, 2)),
+            16.0,
+            max_extents=np.array([8.0, 8.0]),
+            config=AnnealConfig(restarts=1),
+        )
+        assert res is None
+
+    def test_later_restart_rescues_singular_start(self):
+        """Restart > 0 perturbs the start, recovering from a singular one."""
+        res = anneal_parallelepiped(
+            _quadratic(np.eye(2)),
+            np.zeros((2, 2)),
+            16.0,
+            max_extents=np.array([8.0, 8.0]),
+            config=AnnealConfig(restarts=2),
+        )
+        assert res is not None
+        assert abs(np.linalg.det(res.l_matrix)) == pytest.approx(16.0, rel=1e-9)
+
+    def test_deadline_truncates(self):
+        # A deadline already in the past stops each restart at its first
+        # checkpoint; restart 0's start evaluation still counts.
+        res = self._run(
+            config=AnnealConfig(iterations=10_000, restarts=1),
+            deadline=time.monotonic() - 1.0,
+        )
+        assert res is not None
+        assert res.truncated
+        assert res.evaluations == 1
+
+    def test_no_deadline_never_truncates(self):
+        res = self._run(config=AnnealConfig(iterations=50, restarts=2))
+        assert not res.truncated
+
+    def test_volume_cannot_fit_bounds_returns_none(self):
+        # V = 100 cannot fit inside |entries| <= 1 at depth 2 (max |det|
+        # of a clamped matrix is ~2), so every projection is rejected.
+        res = anneal_parallelepiped(
+            _quadratic(np.eye(2)),
+            np.diag([1.0, 1.0]),
+            100.0,
+            max_extents=np.array([1.0, 1.0]),
+        )
+        assert res is None
