@@ -47,10 +47,15 @@ def _gauge(metrics: list[dict], name: str, default=None):
 def _latency_rows(metrics: list[dict]) -> list[tuple[str, dict]]:
     rows = []
     for e in metrics:
-        if e.get("name") == "serve.latency_ms" and e.get("count"):
-            endpoint = e.get("labels", {}).get("endpoint", "?")
+        if e.get("name") in ("serve.latency_ms", "route.latency_ms") and e.get("count"):
+            labels = e.get("labels", {})
+            endpoint = labels.get("endpoint", "?")
+            # A router's merged dump repeats each endpoint once per
+            # replica; keep the rows distinct (and identifiable).
+            if labels.get("replica"):
+                endpoint = f"{endpoint} @{labels['replica']}"
             rows.append((endpoint, e))
-    rows.sort()
+    rows.sort(key=lambda row: row[0])
     return rows
 
 

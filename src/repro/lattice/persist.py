@@ -51,6 +51,7 @@ __all__ = [
     "decode_key",
     "load_caches",
     "save_caches",
+    "exchange_caches",
 ]
 
 logger = logging.getLogger("repro.lattice.persist")
@@ -305,3 +306,32 @@ def save_caches(
                 pass
             raise
     return written
+
+
+def exchange_caches(
+    cache_dir=None, *, footprint_table=None, lattice_cache=None, plan_cache=None
+) -> tuple[int, int]:
+    """One cross-process cache-exchange cycle over ``cache_dir``.
+
+    Snapshot this process's entries into the shared file (union-merge
+    under the lockfile), then absorb whatever peers have published since
+    the last cycle.  This is the access pattern the multi-replica serve
+    tier runs periodically: every replica both contributes its fresh
+    plan/lattice entries and warms from the others', so a cold or newly
+    re-admitted replica converges on the cluster's union instead of
+    recomputing from scratch.  Returns ``(written, absorbed)`` —
+    entries written to disk and entries newly absorbed into memory.
+    """
+    written = save_caches(
+        cache_dir,
+        footprint_table=footprint_table,
+        lattice_cache=lattice_cache,
+        plan_cache=plan_cache,
+    )
+    absorbed = load_caches(
+        cache_dir,
+        footprint_table=footprint_table,
+        lattice_cache=lattice_cache,
+        plan_cache=plan_cache,
+    )
+    return written, absorbed

@@ -53,6 +53,7 @@ from .export import (
     PrometheusFormatError,
     parse_prometheus_text,
     prometheus_text,
+    prometheus_text_from_snapshot,
 )
 from .tracing import Span, Tracer, get_tracer, span
 
@@ -70,6 +71,7 @@ __all__ = [
     "PrometheusFormatError",
     "parse_prometheus_text",
     "prometheus_text",
+    "prometheus_text_from_snapshot",
     "Span",
     "Tracer",
     "get_tracer",

@@ -31,6 +31,7 @@ import re
 __all__ = [
     "EventTraceWriter",
     "prometheus_text",
+    "prometheus_text_from_snapshot",
     "parse_prometheus_text",
     "PrometheusFormatError",
 ]
@@ -225,6 +226,106 @@ def prometheus_text(registry, *, extra_gauges: dict | None = None) -> str:
                 lines.append(f"{base}_bucket{inf} {snap['count']}")
                 lines.append(f"{base}_sum{_label_str(labels)} {_fmt(float(snap['sum']))}")
                 lines.append(f"{base}_count{_label_str(labels)} {snap['count']}")
+
+    for name, value in sorted((extra_gauges or {}).items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        base = _prom_name(name)
+        header(base, "gauge", name)
+        lines.append(f"{base} {_fmt(float(value))}")
+
+    return "\n".join(lines) + "\n"
+
+
+def prometheus_text_from_snapshot(entries, *, extra_gauges: dict | None = None) -> str:
+    """Render registry *snapshot* entries as Prometheus text exposition.
+
+    The input is the JSON shape :meth:`MetricsRegistry.snapshot`
+    produces (``{"name", "labels", "type", ...}`` dicts) rather than
+    live instruments, so a process can render metrics it only holds as
+    data — the cluster router uses this to emit one merged scrape from
+    its own snapshot plus every replica's, each entry labeled with its
+    ``replica``.  Entries are grouped by metric name first (one
+    HELP/TYPE header per name, which the strict parser requires even
+    when the same metric arrives from several replicas).  Exact-bin
+    histograms (``bins``) and fixed-bucket latency histograms
+    (``buckets`` + quantiles) render in the same shapes
+    :func:`prometheus_text` uses; entries whose type disagrees with the
+    first seen for that name are skipped rather than corrupting the
+    exposition.
+    """
+    groups: dict[str, list[dict]] = {}
+    for entry in entries:
+        name = entry.get("name")
+        if name:
+            groups.setdefault(name, []).append(entry)
+
+    lines: list[str] = []
+
+    def header(pname: str, ptype: str, source: str) -> None:
+        lines.append(f"# HELP {pname} repro metric {source}")
+        lines.append(f"# TYPE {pname} {ptype}")
+
+    def labels_of(entry: dict) -> list[tuple]:
+        return sorted((entry.get("labels") or {}).items())
+
+    for name in sorted(groups):
+        members = sorted(groups[name], key=lambda e: str(labels_of(e)))
+        base = _prom_name(name)
+        etype = members[0].get("type")
+        members = [e for e in members if e.get("type") == etype]
+        if etype == "counter":
+            header(f"{base}_total", "counter", name)
+            for e in members:
+                lines.append(f"{base}_total{_label_str(labels_of(e))} {_fmt(e.get('value', 0))}")
+        elif etype == "gauge":
+            numeric = [
+                e for e in members
+                if isinstance(e.get("value"), (int, float))
+                and not isinstance(e.get("value"), bool)
+            ]
+            if not numeric:
+                continue
+            header(base, "gauge", name)
+            for e in numeric:
+                lines.append(f"{base}{_label_str(labels_of(e))} {_fmt(float(e['value']))}")
+        elif etype == "histogram" and "buckets" in members[0]:
+            header(base, "histogram", name)
+            for e in members:
+                ls = labels_of(e)
+                for bucket in e.get("buckets", []):
+                    le = bucket.get("le")
+                    le_text = "+Inf" if le == "+Inf" else _le_str(le)
+                    lines.append(
+                        f"{base}_bucket{_label_str(ls, {'le': le_text})} "
+                        f"{bucket.get('count', 0)}"
+                    )
+                lines.append(f"{base}_sum{_label_str(ls)} {_fmt(float(e.get('sum', 0.0)))}")
+                lines.append(f"{base}_count{_label_str(ls)} {e.get('count', 0)}")
+            sname = f"{base}_summary"
+            header(sname, "summary", name)
+            for e in members:
+                ls = labels_of(e)
+                for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                    ql = _label_str(ls, {"quantile": _fmt(q)})
+                    lines.append(f"{sname}{ql} {_fmt(float(e.get(key, 0.0)))}")
+                lines.append(f"{sname}_sum{_label_str(ls)} {_fmt(float(e.get('sum', 0.0)))}")
+                lines.append(f"{sname}_count{_label_str(ls)} {e.get('count', 0)}")
+        elif etype == "histogram":
+            header(base, "histogram", name)
+            for e in members:
+                ls = labels_of(e)
+                cum = 0
+                for bin_value, bin_count in sorted(
+                    (int(k), v) for k, v in (e.get("bins") or {}).items()
+                ):
+                    cum += bin_count
+                    le = _label_str(ls, {"le": _fmt(float(bin_value))})
+                    lines.append(f"{base}_bucket{le} {cum}")
+                inf = _label_str(ls, {"le": "+Inf"})
+                lines.append(f"{base}_bucket{inf} {e.get('count', 0)}")
+                lines.append(f"{base}_sum{_label_str(ls)} {_fmt(float(e.get('sum', 0)))}")
+                lines.append(f"{base}_count{_label_str(ls)} {e.get('count', 0)}")
 
     for name, value in sorted((extra_gauges or {}).items()):
         if not isinstance(value, (int, float)) or isinstance(value, bool):

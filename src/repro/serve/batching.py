@@ -27,7 +27,7 @@ from concurrent.futures.process import BrokenProcessPool
 from ..core.plan import DEFAULT_PLAN_CACHE
 from ..lattice import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
 from ..obs import get_logger, get_registry
-from .pipeline import init_worker, run_batch
+from .pipeline import init_worker, prewarm_worker, run_batch
 from .protocol import PartitionRequest, ProtocolError
 
 __all__ = ["MicroBatcher"]
@@ -74,6 +74,22 @@ class MicroBatcher:
             max_workers=self.workers,
             initializer=init_worker,
             initargs=(self.cache_dir, self.plan_cache, self.opt_budget_s),
+        )
+
+    async def prewarm(self) -> None:
+        """Force every pool worker to spawn and finish cache hydration.
+
+        Submits one :func:`~repro.serve.pipeline.prewarm_worker` call per
+        worker slot directly to the pool (bypassing the batch window) and
+        waits for all of them.  Failures are swallowed — a pool that
+        cannot warm will surface errors on the first real batch; the
+        caller only wants "hydration is no longer pending".
+        """
+        if self._pool is None:
+            raise RuntimeError("MicroBatcher.prewarm before start()")
+        futures = [self._pool.submit(prewarm_worker) for _ in range(self.workers)]
+        await asyncio.gather(
+            *(asyncio.wrap_future(f) for f in futures), return_exceptions=True
         )
 
     async def drain(self) -> None:

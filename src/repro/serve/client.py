@@ -5,14 +5,34 @@ for scripts, tests, and the load generator; :class:`AsyncServeClient`
 speaks the same protocol over asyncio streams for embedding in event
 loops.  Both raise :class:`ServeError` for any non-200 response, carrying
 the HTTP status and the decoded typed error payload.
+
+Both clients treat 429 (admission overload) as a retryable condition:
+they honor the server's ``Retry-After`` hint with capped exponential
+backoff and *deterministic* jitter (seeded per client, so a run is
+reproducible), raising only once ``max_retries_429`` attempts are
+exhausted.  ``retries_429`` counts the retries a client performed.
+
+:class:`AsyncConnectionPool` is the router's building block: a bounded
+keep-alive pool of raw HTTP/1.1 connections to one replica, exposing
+byte-level request/response passthrough so the router never re-encodes
+a replica's response body.
 """
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
+import random
+import time
 
-__all__ = ["ServeError", "ServeClient", "AsyncServeClient"]
+__all__ = [
+    "ServeError",
+    "ServeClient",
+    "AsyncServeClient",
+    "AsyncConnectionPool",
+    "backoff_delay_s",
+]
 
 
 class ServeError(Exception):
@@ -29,6 +49,29 @@ class ServeError(Exception):
         )
 
 
+def backoff_delay_s(
+    attempt: int,
+    retry_after: float | None,
+    *,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+    rng: random.Random | None = None,
+) -> float:
+    """Backoff before retry number ``attempt`` (0-based) of a 429.
+
+    Exponential from ``base_s``, never below the server's ``Retry-After``
+    hint, capped at ``cap_s``; ``rng`` adds up to 10% deterministic
+    jitter (callers seed it, so a retry schedule is reproducible).
+    """
+    delay = base_s * (2.0 ** attempt)
+    if retry_after is not None and retry_after > 0:
+        delay = max(delay, retry_after)
+    delay = min(delay, cap_s)
+    if rng is not None:
+        delay *= 1.0 + 0.1 * rng.random()
+    return delay
+
+
 def _request_body(source, processors, **options) -> dict:
     body = {"source": source, "processors": processors}
     body.update({k: v for k, v in options.items() if v is not None})
@@ -38,15 +81,31 @@ def _request_body(source, processors, **options) -> dict:
 class ServeClient:
     """Blocking keep-alive client."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8787, *, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        *,
+        timeout: float = 60.0,
+        max_retries_429: int = 4,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_seed: int = 0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_retries_429 = max_retries_429
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._backoff_rng = random.Random(backoff_seed)
         self._conn: http.client.HTTPConnection | None = None
         #: Cache disposition of the last compute call (miss/hit/coalesced).
         self.last_cache_status: str | None = None
         #: Request id the server echoed (or minted) for the last call.
         self.last_request_id: str | None = None
+        #: 429-overload retries this client has performed.
+        self.retries_429 = 0
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
@@ -76,10 +135,43 @@ class ServeClient:
         accept: str | None = None,
         raw_body: bool = False,
     ) -> dict | str:
-        """One round trip.  ``request_id`` travels as the
-        ``X-Repro-Request-Id`` header (never in the body — the request
-        schema is strict); ``accept``/``raw_body`` fetch non-JSON
-        responses such as the Prometheus ``/metrics`` exposition."""
+        """One logical request (with transparent 429 retries).
+
+        ``request_id`` travels as the ``X-Repro-Request-Id`` header
+        (never in the body — the request schema is strict);
+        ``accept``/``raw_body`` fetch non-JSON responses such as the
+        Prometheus ``/metrics`` exposition."""
+        attempt = 0
+        while True:
+            try:
+                return self._round_trip(
+                    method, path, payload,
+                    request_id=request_id, accept=accept, raw_body=raw_body,
+                )
+            except ServeError as e:
+                if e.status != 429 or attempt >= self.max_retries_429:
+                    raise
+                time.sleep(
+                    backoff_delay_s(
+                        attempt, e.retry_after,
+                        base_s=self.backoff_base_s,
+                        cap_s=self.backoff_cap_s,
+                        rng=self._backoff_rng,
+                    )
+                )
+                attempt += 1
+                self.retries_429 += 1
+
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        *,
+        request_id: str | None,
+        accept: str | None,
+        raw_body: bool,
+    ) -> dict | str:
         conn = self._connection()
         body = None
         headers = {}
@@ -169,21 +261,171 @@ class ServeClient:
         return self.request("GET", "/debug/inflight")
 
 
+async def _read_http_response(reader: asyncio.StreamReader):
+    """One HTTP/1.1 response from ``reader`` → ``(status, headers, body)``.
+
+    ``headers`` keys are lower-cased.  Raises
+    :class:`asyncio.IncompleteReadError` / :class:`ConnectionError` on a
+    connection dropped mid-response and :class:`ServeError` on an empty
+    stream (peer closed before the status line).
+    """
+    status_line = await reader.readline()
+    if not status_line:
+        raise ServeError(0, {"error": {"code": "connection-closed",
+                                       "message": "server closed the connection"}})
+    parts = status_line.decode("latin-1").split(" ", 2)
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+def _encode_http_request(
+    method: str,
+    path: str,
+    host: str,
+    port: int,
+    body: bytes,
+    headers: dict[str, str] | None,
+) -> bytes:
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}:{port}",
+        f"Content-Length: {len(body)}",
+        "Connection: keep-alive",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+class AsyncConnectionPool:
+    """Bounded keep-alive connection pool to one HTTP/1.1 peer.
+
+    At most ``size`` connections exist at any moment (in use + idle);
+    excess concurrent requests wait on the internal semaphore.  A
+    connection that completes a round trip cleanly returns to the idle
+    list for reuse; any transport error closes it, so the pool never
+    reuses a stream in an unknown framing state.
+
+    :meth:`request_raw` is byte-level passthrough — the response body is
+    returned exactly as the peer framed it, which the router relies on
+    to keep replica responses byte-identical through the extra hop.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int = 8,
+        connect_timeout_s: float = 5.0,
+        limit: int = 1 << 22,
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.connect_timeout_s = connect_timeout_s
+        self._limit = limit
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._sem = asyncio.Semaphore(size)
+        self._closed = False
+        #: Connections opened over the pool's lifetime (reuse telemetry).
+        self.connects = 0
+
+    async def _checkout(self):
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if writer.is_closing():
+                _close_writer(writer)
+                continue
+            return reader, writer
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port, limit=self._limit),
+            timeout=self.connect_timeout_s,
+        )
+        self.connects += 1
+        return reader, writer
+
+    async def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One round trip → ``(status, lowercase headers, raw body)``."""
+        if self._closed:
+            raise ConnectionError("pool is closed")
+        async with self._sem:
+            reader, writer = await self._checkout()
+            try:
+                writer.write(
+                    _encode_http_request(
+                        method, path, self.host, self.port, body, headers
+                    )
+                )
+                await writer.drain()
+                status, rheaders, rbody = await _read_http_response(reader)
+            except BaseException:
+                _close_writer(writer)
+                raise
+            if rheaders.get("connection", "").lower() == "close" or self._closed:
+                _close_writer(writer)
+            else:
+                self._idle.append((reader, writer))
+            return status, rheaders, rbody
+
+    async def close(self) -> None:
+        self._closed = True
+        while self._idle:
+            _, writer = self._idle.pop()
+            _close_writer(writer)
+
+
+def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
+
+
 class AsyncServeClient:
     """Asyncio client (one connection, sequential requests)."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8787):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        *,
+        max_retries_429: int = 4,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_seed: int = 0,
+    ):
         self.host = host
         self.port = port
+        self.max_retries_429 = max_retries_429
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._backoff_rng = random.Random(backoff_seed)
         self._reader = None
         self._writer = None
         self.last_cache_status: str | None = None
         self.last_request_id: str | None = None
+        self.retries_429 = 0
 
     async def _connect(self) -> None:
         if self._writer is None:
-            import asyncio
-
             self._reader, self._writer = await asyncio.open_connection(
                 self.host, self.port, limit=1 << 22
             )
@@ -211,47 +453,47 @@ class AsyncServeClient:
         *,
         request_id: str | None = None,
     ) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return await self._round_trip(method, path, payload, request_id)
+            except ServeError as e:
+                if e.status != 429 or attempt >= self.max_retries_429:
+                    raise
+                await asyncio.sleep(
+                    backoff_delay_s(
+                        attempt, e.retry_after,
+                        base_s=self.backoff_base_s,
+                        cap_s=self.backoff_cap_s,
+                        rng=self._backoff_rng,
+                    )
+                )
+                attempt += 1
+                self.retries_429 += 1
+
+    async def _round_trip(
+        self, method: str, path: str, payload: dict | None, request_id: str | None
+    ) -> dict:
         await self._connect()
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
-        id_header = (
-            f"X-Repro-Request-Id: {request_id}\r\n" if request_id is not None else ""
+        headers = {"Content-Type": "application/json"}
+        if request_id is not None:
+            headers["X-Repro-Request-Id"] = request_id
+        self._writer.write(
+            _encode_http_request(method, path, self.host, self.port, body, headers)
         )
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {self.host}:{self.port}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Content-Type: application/json\r\n"
-            f"{id_header}"
-            "Connection: keep-alive\r\n\r\n"
-        ).encode("latin-1")
-        self._writer.write(head + body)
         await self._writer.drain()
-
-        status_line = await self._reader.readline()
-        if not status_line:
-            raise ServeError(0, {"error": {"code": "connection-closed",
-                                           "message": "server closed the connection"}})
-        parts = status_line.decode("latin-1").split(" ", 2)
-        status = int(parts[1])
-        headers: dict[str, str] = {}
-        while True:
-            line = await self._reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0"))
-        raw = await self._reader.readexactly(length) if length else b""
-        if headers.get("connection", "").lower() == "close":
+        status, rheaders, raw = await _read_http_response(self._reader)
+        if rheaders.get("connection", "").lower() == "close":
             await self.close()
         decoded = json.loads(raw.decode("utf-8")) if raw else {}
-        self.last_cache_status = headers.get("x-repro-cache")
-        self.last_request_id = headers.get("x-repro-request-id")
+        self.last_cache_status = rheaders.get("x-repro-cache")
+        self.last_request_id = rheaders.get("x-repro-request-id")
         if status != 200:
             err = ServeError(status, decoded)
-            if "retry-after" in headers:
+            if "retry-after" in rheaders:
                 try:
-                    err.retry_after = float(headers["retry-after"])
+                    err.retry_after = float(rheaders["retry-after"])
                 except ValueError:
                     pass
             raise err

@@ -1,0 +1,882 @@
+"""``repro route`` — the multi-replica front tier (consistent-hash router).
+
+The paper's whole pipeline is per-loop-shape: the Sec 3.6 closed forms
+and Theorem-2/4 cost terms depend only on the canonical structure of the
+nest, which is exactly what the plan cache and the lattice caches key
+on.  That makes the serve tier ideal for *shard affinity*: route every
+canonical request key to a fixed replica, and that replica's response
+LRU, plan cache, and warm lattice caches stay hot on its slice of the
+keyspace.  :class:`RouterServer` is that front tier:
+
+* computes the same canonical request key the replica's response LRU
+  uses (:attr:`~repro.serve.protocol.PartitionRequest.canonical_key`)
+  and **rendezvous-hashes** it across the configured replicas — removing
+  a replica deterministically remaps only *its* keys onto the survivors,
+  every other key keeps its shard (and its warm caches);
+* tracks per-replica health via ``/healthz`` (consecutive probe or
+  forward failures eject a replica; consecutive ready probes re-admit
+  it) and routes only to replicas that are healthy **and** ready
+  (worker pool warm-hydrated);
+* forwards request and response bodies byte-for-byte over bounded
+  keep-alive connection pools
+  (:class:`~repro.serve.client.AsyncConnectionPool`), so a response
+  through the router is byte-identical to one from the replica;
+* retries a failed forward on the next replica in rendezvous order, so
+  a replica killed mid-request costs a re-forward, not a dropped
+  request;
+* aggregates ``/metrics`` (JSON and merged Prometheus text, each
+  replica's series labeled ``replica="host:port"``) and ``/debug``
+  across the fleet, and propagates ``X-Repro-Request-Id`` end to end —
+  ``/debug/requests/<id>`` grafts the replica's stitched trace under
+  the router's ``serve.route`` span, so ``repro top`` / ``repro trace``
+  pointed at the router see the whole cross-process path including the
+  routing hop.
+
+Cross-replica cache exchange is the replicas' job, not the router's:
+point every replica at one shared ``--cache-dir`` and give them a
+``--cache-exchange-s`` period, and each periodically snapshots its
+plan/lattice deltas through the union-merge lockfile protocol in
+:mod:`repro.lattice.persist` and absorbs its peers' — a cold or newly
+re-admitted replica warms from the cluster instead of from scratch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import signal
+import sys
+import time
+import uuid
+
+from .. import __version__
+from ..obs import (
+    FlightRecorder,
+    configure_logging,
+    get_logger,
+    get_registry,
+    prometheus_text_from_snapshot,
+)
+from ..obs.export import PROMETHEUS_CONTENT_TYPE
+from .client import AsyncConnectionPool, ServeError
+from .protocol import (
+    ProtocolError,
+    error_payload,
+    validate_partition_request,
+    validate_request_id,
+)
+from .server import (
+    EmbeddedServer,
+    _encode_response,
+    _HttpError,
+    _read_request,
+    _STATUS_TEXT,
+    _TextPayload,
+)
+
+__all__ = [
+    "RouterConfig",
+    "RouterServer",
+    "EmbeddedRouter",
+    "rendezvous_order",
+    "route_main",
+]
+
+logger = get_logger("serve.cluster")
+
+_POST_ROUTES = ("/v1/partition", "/v1/simulate")
+_GET_ROUTES = ("/healthz", "/metrics", "/debug/requests", "/debug/inflight")
+_DEBUG_REQUEST_PREFIX = "/debug/requests/"
+
+#: Response headers forwarded from replica to client verbatim.
+_PASSTHROUGH_HEADERS = ("x-repro-cache", "retry-after", "content-type")
+
+
+def rendezvous_order(key: str, addresses: list[str]) -> list[str]:
+    """Replicas by descending rendezvous (highest-random-weight) score.
+
+    Each ``(address, key)`` pair hashes independently, so removing an
+    address reshuffles nothing: every key's surviving candidates keep
+    their relative order, and only the removed address's keys move (each
+    to its own second choice).  That is exactly the stability the
+    per-replica response/plan caches want during ejection and re-admit.
+    """
+    def score(address: str) -> bytes:
+        return hashlib.sha256(
+            address.encode("utf-8") + b"\x00" + key.encode("utf-8")
+        ).digest()
+
+    return sorted(addresses, key=score, reverse=True)
+
+
+class RouterConfig:
+    """Tunables of one router instance (CLI flags map 1:1)."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8790,
+        replicas: tuple[str, ...] = (),
+        pool_size: int = 8,
+        health_interval_s: float = 0.5,
+        health_timeout_s: float = 2.0,
+        eject_after: int = 2,
+        readmit_after: int = 2,
+        forward_timeout_s: float = 120.0,
+        port_file: str | None = None,
+        flight_capacity: int = 512,
+        slo_p99_ms: float = 1000.0,
+        slo_error_rate: float = 0.01,
+    ):
+        if not replicas:
+            raise ValueError("router needs at least one replica address")
+        seen = set()
+        parsed = []
+        for address in replicas:
+            address = address.strip()
+            host_part, sep, port_part = address.rpartition(":")
+            if not sep or not host_part:
+                raise ValueError(f"replica address must be HOST:PORT, got {address!r}")
+            try:
+                replica_port = int(port_part)
+            except ValueError:
+                raise ValueError(
+                    f"replica address must be HOST:PORT, got {address!r}"
+                ) from None
+            if address in seen:
+                raise ValueError(f"duplicate replica address {address!r}")
+            seen.add(address)
+            parsed.append((address, host_part, replica_port))
+        self.host = host
+        self.port = port
+        self.replicas = tuple(parsed)
+        self.pool_size = pool_size
+        self.health_interval_s = health_interval_s
+        self.health_timeout_s = health_timeout_s
+        self.eject_after = max(1, eject_after)
+        self.readmit_after = max(1, readmit_after)
+        self.forward_timeout_s = forward_timeout_s
+        self.port_file = port_file
+        self.flight_capacity = flight_capacity
+        self.slo_p99_ms = slo_p99_ms
+        self.slo_error_rate = slo_error_rate
+
+
+class Replica:
+    """Router-side state for one backend replica."""
+
+    def __init__(self, address: str, host: str, port: int, *, pool_size: int):
+        self.address = address
+        self.host = host
+        self.port = port
+        self.pool = AsyncConnectionPool(host, port, size=pool_size)
+        self.healthy = True
+        self.ready = False  # set by the first successful probe
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.ejections = 0
+        self.last_error: str | None = None
+
+    @property
+    def routable(self) -> bool:
+        return self.healthy and self.ready
+
+    def to_dict(self) -> dict:
+        return {
+            "address": self.address,
+            "healthy": self.healthy,
+            "ready": self.ready,
+            "consecutive_failures": self.consecutive_failures,
+            "ejections": self.ejections,
+            "last_error": self.last_error,
+            "pool_connects": self.pool.connects,
+        }
+
+
+#: Errors that mean "this replica did not produce a response".
+_FORWARD_ERRORS = (
+    OSError,
+    ConnectionError,
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+)
+
+
+class RouterServer:
+    """The front tier: owns the listener, replica pools, health loop."""
+
+    def __init__(self, config: RouterConfig):
+        self.config = config
+        self.port: int | None = None
+        self.started_at: float | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._replicas: dict[str, Replica] = {
+            address: Replica(address, host, port, pool_size=config.pool_size)
+            for address, host, port in config.replicas
+        }
+        self._metrics = get_registry()
+        self._flight = FlightRecorder(max(config.flight_capacity, 1))
+        self._inflight = 0
+        self._requests_served = 0
+        self._shutdown_event: asyncio.Event | None = None
+        self._draining = False
+        self._health_task: asyncio.Task | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Probe the fleet once, bind the listener, start health probes."""
+        await self._probe_all()
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=65536,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        self._health_task = asyncio.create_task(self._health_loop())
+        self._refresh_fleet_gauges()
+        if self.config.port_file:
+            with open(self.config.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{self.port}\n")
+        logger.info(
+            "routing on %s:%d across %d replica(s): %s",
+            self.config.host,
+            self.port,
+            len(self._replicas),
+            ", ".join(self._replicas),
+        )
+
+    def signal_shutdown(self) -> None:
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._shutdown_event is not None, "start() first"
+        await self._shutdown_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        if self._server is None:
+            return
+        self._draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for replica in self._replicas.values():
+            await replica.pool.close()
+        logger.info("router drained; %d requests served", self._requests_served)
+
+    # -- health tracking -------------------------------------------------
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            await self._probe_all()
+
+    async def _probe_all(self) -> None:
+        await asyncio.gather(
+            *(self._probe(r) for r in self._replicas.values()),
+            return_exceptions=True,
+        )
+        self._refresh_fleet_gauges()
+
+    async def _probe(self, replica: Replica) -> None:
+        try:
+            status, _headers, body = await asyncio.wait_for(
+                replica.pool.request_raw("GET", "/healthz"),
+                timeout=self.config.health_timeout_s,
+            )
+            doc = json.loads(body.decode("utf-8"))
+            alive = status == 200 and doc.get("status") == "ok"
+            # Pre-readiness servers (and anything that predates the
+            # ready flag) count as ready once alive.
+            ready = bool(doc.get("ready", True))
+        except _FORWARD_ERRORS + (ServeError, ValueError) as e:
+            self._note_failure(replica, f"healthz: {type(e).__name__}: {e}")
+            return
+        if not alive:
+            self._note_failure(replica, f"healthz: status {status}, {doc.get('status')}")
+            return
+        replica.ready = ready
+        replica.last_error = None
+        replica.consecutive_failures = 0
+        if ready:
+            replica.consecutive_successes += 1
+            if (
+                not replica.healthy
+                and replica.consecutive_successes >= self.config.readmit_after
+            ):
+                replica.healthy = True
+                self._metrics.counter(
+                    "route.readmissions", replica=replica.address
+                ).inc()
+                logger.info("re-admitted replica %s", replica.address)
+        else:
+            # Alive but cold (worker pool still hydrating): not a
+            # failure, but not routable either, and not progress toward
+            # re-admission.
+            replica.consecutive_successes = 0
+
+    def _note_failure(self, replica: Replica, error: str) -> None:
+        replica.consecutive_successes = 0
+        replica.consecutive_failures += 1
+        replica.last_error = error
+        if replica.healthy and replica.consecutive_failures >= self.config.eject_after:
+            replica.healthy = False
+            replica.ready = False
+            replica.ejections += 1
+            self._metrics.counter("route.ejections", replica=replica.address).inc()
+            logger.warning(
+                "ejected replica %s after %d consecutive failures (%s)",
+                replica.address,
+                replica.consecutive_failures,
+                error,
+            )
+        self._refresh_fleet_gauges()
+
+    def _refresh_fleet_gauges(self) -> None:
+        self._metrics.gauge("route.replicas_total").set(len(self._replicas))
+        self._metrics.gauge("route.replicas_routable").set(
+            sum(1 for r in self._replicas.values() if r.routable)
+        )
+
+    # -- connection handling ---------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(_read_request(reader), timeout=60.0)
+                except asyncio.TimeoutError:
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except _HttpError as e:
+                    writer.write(
+                        _encode_response(
+                            e.status,
+                            error_payload("invalid-request", str(e)),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                response = await self._route(method, path, headers, body)
+                writer.write(self._encode(response, keep_alive=keep_alive))
+                await writer.drain()
+                self._requests_served += 1
+                if not keep_alive:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _encode(response, *, keep_alive: bool) -> bytes:
+        status, payload, extra = response
+        if isinstance(payload, (bytes, bytearray)):
+            content_type = extra.pop("Content-Type", "application/json")
+            lines = [
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(payload)}",
+                f"Server: repro-route/{__version__}",
+                f"Connection: {'keep-alive' if keep_alive else 'close'}",
+            ]
+            for name, value in extra.items():
+                lines.append(f"{name}: {value}")
+            return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + bytes(payload)
+        return _encode_response(status, payload, keep_alive=keep_alive, extra_headers=extra)
+
+    # -- routing ---------------------------------------------------------
+    async def _route(self, method: str, path: str, headers: dict[str, str], body: bytes):
+        """Dispatch one request; returns ``(status, payload, extra_headers)``.
+
+        ``payload`` is a dict (router-generated JSON), a
+        :class:`_TextPayload`, or raw ``bytes`` forwarded verbatim from
+        a replica.
+        """
+        if path.startswith(_DEBUG_REQUEST_PREFIX):
+            endpoint = "/debug/requests/<id>"
+        else:
+            endpoint = path if path in _POST_ROUTES + _GET_ROUTES else "other"
+        self._metrics.counter("route.requests", endpoint=endpoint).inc()
+        t0 = time.perf_counter()
+        extra: dict[str, str] = {}
+        record = None
+        replica_used = None
+        error_code = None
+        try:
+            request_id = validate_request_id(headers.get("x-repro-request-id"))
+            if request_id is None:
+                request_id = uuid.uuid4().hex[:16]
+            extra["X-Repro-Request-Id"] = request_id
+            if path in _POST_ROUTES:
+                if method != "POST":
+                    raise ProtocolError(
+                        f"{path} only supports POST", code="method-not-allowed", status=405
+                    )
+                record = self._flight.begin(request_id, endpoint)
+                self._inflight += 1
+                try:
+                    status, payload, extra_f, replica_used, route_span = (
+                        await self._forward_compute(path, body, request_id)
+                    )
+                finally:
+                    self._inflight -= 1
+                extra.update(extra_f)
+            elif path in _GET_ROUTES or endpoint == "/debug/requests/<id>":
+                if method != "GET":
+                    raise ProtocolError(
+                        f"{path} only supports GET", code="method-not-allowed", status=405
+                    )
+                status, payload = 200, await self._handle_get(path, headers)
+                route_span = None
+            else:
+                raise ProtocolError(
+                    f"no such endpoint {path!r}", code="not-found", status=404
+                )
+        except ProtocolError as e:
+            status, payload, error_code = e.status, e.to_payload(), e.code
+            route_span = None
+            if e.status == 429:
+                extra.setdefault("Retry-After", "1")
+        except Exception as e:  # pragma: no cover - route safety net
+            logger.exception("unhandled router error serving %s %s", method, path)
+            status, error_code = 500, "internal-error"
+            payload = error_payload("internal-error", f"{type(e).__name__}: {e}")
+            route_span = None
+        total_ms = (time.perf_counter() - t0) * 1000.0
+        if record is not None:
+            self._finish_flight(
+                record,
+                status=status,
+                cache=extra.get("X-Repro-Cache"),
+                total_ms=total_ms,
+                error_code=error_code,
+                replica=replica_used,
+                route_span=route_span,
+                endpoint=endpoint,
+            )
+        self._metrics.counter(
+            "route.responses", endpoint=endpoint, status=str(status)
+        ).inc()
+        self._metrics.latency_histogram("route.latency_ms", endpoint=endpoint).observe(
+            total_ms
+        )
+        return status, payload, extra
+
+    async def _forward_compute(self, path: str, body: bytes, request_id: str):
+        """Pick the shard, forward the raw request, fail over on error.
+
+        Returns ``(status, raw_body, extra_headers, replica_address,
+        route_span)``.  The request is validated *here* so malformed
+        requests get their 400/422 from the router without burning a
+        replica round trip — and so the shard key is the same canonical
+        key the replica's response cache will use.
+        """
+        if self._draining:
+            raise ProtocolError("router is draining", code="shutting-down", status=503)
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise ProtocolError(
+                f"request body is not valid JSON: {e}",
+                code="invalid-request",
+                status=400,
+            ) from None
+        request = validate_partition_request(
+            decoded, force_simulate=(path == "/v1/simulate")
+        )
+        shard_key = repr(request.canonical_key)
+        order = rendezvous_order(shard_key, list(self._replicas))
+        candidates = [a for a in order if self._replicas[a].routable]
+        if not candidates:
+            raise ProtocolError(
+                "no healthy replicas available", code="no-replicas", status=503
+            )
+        fwd_headers = {
+            "Content-Type": "application/json",
+            "X-Repro-Request-Id": request_id,
+        }
+        attempts = 0
+        last_error = "?"
+        for address in candidates:
+            replica = self._replicas[address]
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                status, rheaders, rbody = await asyncio.wait_for(
+                    replica.pool.request_raw("POST", path, body, fwd_headers),
+                    timeout=self.config.forward_timeout_s,
+                )
+            except _FORWARD_ERRORS + (ServeError,) as e:
+                forward_ms = (time.perf_counter() - t0) * 1000.0
+                last_error = f"{type(e).__name__}: {e}"
+                self._metrics.counter("route.forward_errors", replica=address).inc()
+                self._note_failure(replica, f"forward: {last_error}")
+                logger.warning(
+                    "forward to %s failed after %.1f ms (%s); "
+                    "trying next replica in rendezvous order",
+                    address,
+                    forward_ms,
+                    last_error,
+                )
+                continue
+            forward_ms = (time.perf_counter() - t0) * 1000.0
+            replica.consecutive_failures = 0
+            extra = {}
+            for name in _PASSTHROUGH_HEADERS:
+                if name in rheaders:
+                    extra["-".join(p.capitalize() for p in name.split("-"))] = (
+                        rheaders[name]
+                    )
+            extra["X-Repro-Replica"] = address
+            if attempts > 1:
+                self._metrics.counter("route.failovers").inc()
+            route_span = {
+                "name": "serve.route",
+                "duration_s": round(forward_ms / 1000.0, 9),
+                "attrs": {"replica": address, "attempts": attempts},
+            }
+            return status, rbody, extra, address, route_span
+        raise ProtocolError(
+            f"all {attempts} routable replica(s) failed this request "
+            f"(last: {last_error})",
+            code="no-replicas",
+            status=503,
+        )
+
+    def _finish_flight(
+        self,
+        record,
+        *,
+        status: int,
+        cache: str | None,
+        total_ms: float,
+        error_code: str | None,
+        replica: str | None,
+        route_span: dict | None,
+        endpoint: str,
+    ) -> None:
+        trace = None
+        if route_span is not None:
+            attrs = {
+                "request_id": record.request_id,
+                "endpoint": endpoint,
+                "status": status,
+                "router": True,
+            }
+            if cache is not None:
+                attrs["cache"] = cache
+            trace = {
+                "name": "request",
+                "duration_s": round(total_ms / 1000.0, 9),
+                "attrs": attrs,
+                "children": [route_span],
+            }
+        self._flight.finish(
+            record,
+            status=status,
+            cache=cache,
+            total_ms=round(total_ms, 3),
+            error_code=error_code,
+            trace=trace,
+            replica=replica,
+        )
+
+    # -- GET endpoints ---------------------------------------------------
+    async def _handle_get(self, path: str, headers: dict[str, str]):
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/metrics":
+            accept = headers.get("accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                return _TextPayload(
+                    prometheus_text_from_snapshot(
+                        await self._merged_metric_entries()
+                    ),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            return await self._metrics_dump()
+        if path == "/debug/requests":
+            return {
+                "schema": "repro.serve-debug-requests",
+                "version": 1,
+                "requests": self._flight.recent(50),
+                "slowest": self._flight.slowest(),
+            }
+        if path == "/debug/inflight":
+            return {
+                "schema": "repro.serve-debug-inflight",
+                "version": 1,
+                "admitted": self._inflight,
+                "inflight": self._flight.inflight(),
+            }
+        request_id = path[len(_DEBUG_REQUEST_PREFIX):]
+        return await self._debug_request(request_id)
+
+    async def _debug_request(self, request_id: str) -> dict:
+        found = self._flight.get(request_id)
+        if found is None:
+            raise ProtocolError(
+                f"no retained request {request_id!r} (records and traces "
+                "are bounded rings; it may have been evicted)",
+                code="not-found",
+                status=404,
+            )
+        out = dict({"schema": "repro.serve-debug-request", "version": 1}, **found)
+        record = out.get("record") or {}
+        trace = out.get("trace")
+        replica_address = record.get("replica")
+        if trace is not None and replica_address in self._replicas:
+            # Deep-copy before grafting: the stored trace must stay
+            # router-only (the replica's retention is its own business).
+            trace = json.loads(json.dumps(trace))
+            replica_doc = await self._fetch_replica_json(
+                self._replicas[replica_address], f"/debug/requests/{request_id}"
+            )
+            replica_trace = (replica_doc or {}).get("trace")
+            if replica_trace is not None:
+                for child in trace.get("children", []):
+                    if child.get("name") == "serve.route":
+                        child["children"] = [replica_trace]
+                        break
+            out["trace"] = trace
+            if replica_doc and replica_doc.get("record"):
+                out["replica_record"] = replica_doc["record"]
+        return out
+
+    def _healthz(self) -> dict:
+        routable = sum(1 for r in self._replicas.values() if r.routable)
+        return {
+            "status": "draining" if self._draining else "ok",
+            "ready": routable > 0 and not self._draining,
+            "router": True,
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self.started_at, 3)
+            if self.started_at is not None
+            else 0.0,
+            "inflight": self._inflight,
+            "replicas_total": len(self._replicas),
+            "replicas_routable": routable,
+            "replicas": [r.to_dict() for r in self._replicas.values()],
+        }
+
+    async def _fetch_replica_json(self, replica: Replica, path: str) -> dict | None:
+        try:
+            status, _headers, body = await asyncio.wait_for(
+                replica.pool.request_raw("GET", path),
+                timeout=max(self.config.health_timeout_s, 10.0),
+            )
+            if status != 200:
+                return None
+            return json.loads(body.decode("utf-8"))
+        except _FORWARD_ERRORS + (ServeError, ValueError):
+            return None
+
+    async def _replica_dumps(self) -> list[tuple[str, dict]]:
+        """Every replica's ``/metrics`` JSON dump (unreachable → skipped)."""
+        replicas = list(self._replicas.values())
+        docs = await asyncio.gather(
+            *(self._fetch_replica_json(r, "/metrics") for r in replicas)
+        )
+        return [(r.address, doc) for r, doc in zip(replicas, docs) if doc]
+
+    async def _merged_metric_entries(self, dumps=None) -> list[dict]:
+        """Router ``route.*`` entries + replica entries labeled ``replica=``.
+
+        The router's registry is filtered to its own ``route.*`` names so
+        the merge is well-defined even when router and replicas share a
+        process (the embedded test harness); each replica series gains a
+        ``replica="host:port"`` label so same-named series from different
+        replicas stay distinct under one TYPE header.
+        """
+        if dumps is None:
+            dumps = await self._replica_dumps()
+        entries = [
+            e for e in self._metrics.snapshot() if e.get("name", "").startswith("route.")
+        ]
+        for address, dump in dumps:
+            for entry in dump.get("metrics", []):
+                entry = dict(entry)
+                labels = dict(entry.get("labels") or {})
+                labels["replica"] = address
+                entry["labels"] = labels
+                entries.append(entry)
+        return entries
+
+    async def _metrics_dump(self) -> dict:
+        dumps = await self._replica_dumps()
+        caches: dict = {}
+        servers = []
+        for address, dump in dumps:
+            _merge_numeric(caches, dump.get("caches", {}))
+            servers.append((address, dump.get("server", {})))
+        health = self._healthz()
+        server = {
+            "status": health["status"],
+            "ready": health["ready"],
+            "router": True,
+            "uptime_s": health["uptime_s"],
+            "inflight": sum(s.get("inflight", 0) for _, s in servers),
+            "workers": sum(s.get("workers", 0) for _, s in servers),
+            "queue_depth": sum(s.get("queue_depth", 0) for _, s in servers),
+            "replicas_total": health["replicas_total"],
+            "replicas_routable": health["replicas_routable"],
+        }
+        return {
+            "schema": "repro.serve-metrics",
+            "version": 1,
+            "generated_by": f"repro {__version__} (router)",
+            "server": server,
+            "metrics": await self._merged_metric_entries(dumps),
+            "caches": caches,
+            "replicas": [
+                dict(self._replicas[a].to_dict(), server=s) for a, s in servers
+            ],
+            "slo": {
+                "p99_ms": self.config.slo_p99_ms,
+                "error_rate": self.config.slo_error_rate,
+            },
+        }
+
+
+def _merge_numeric(into: dict, src: dict) -> dict:
+    """Recursively sum numeric leaves of ``src`` into ``into``."""
+    for key, value in src.items():
+        if isinstance(value, dict):
+            into[key] = _merge_numeric(
+                into.get(key) if isinstance(into.get(key), dict) else {}, value
+            )
+        elif isinstance(value, bool):
+            into.setdefault(key, value)
+        elif isinstance(value, (int, float)):
+            base = into.get(key, 0)
+            into[key] = (base if isinstance(base, (int, float)) else 0) + value
+        else:
+            into.setdefault(key, value)
+    return into
+
+
+class EmbeddedRouter(EmbeddedServer):
+    """A :class:`RouterServer` on a background thread (tests, embedding)."""
+
+    def __init__(self, config: RouterConfig):
+        super().__init__(server=RouterServer(config))
+
+
+def build_route_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro route",
+        description="Consistent-hash front tier over N repro serve replicas: "
+        "shard-affine routing by canonical request key, health-tracked "
+        "failover, merged /metrics and /debug.",
+    )
+    p.add_argument("--replicas", action="append", default=[], metavar="HOST:PORT",
+                   help="backend replica address (repeatable, or one "
+                   "comma-separated list)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8790,
+                   help="TCP port (0 = ephemeral; see --port-file)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    p.add_argument("--pool-size", type=int, default=8, metavar="N",
+                   help="max keep-alive connections per replica")
+    p.add_argument("--health-interval-s", type=float, default=0.5, metavar="S",
+                   help="seconds between /healthz probe rounds")
+    p.add_argument("--health-timeout-s", type=float, default=2.0, metavar="S")
+    p.add_argument("--eject-after", type=int, default=2, metavar="N",
+                   help="consecutive probe/forward failures before a "
+                   "replica is ejected")
+    p.add_argument("--readmit-after", type=int, default=2, metavar="N",
+                   help="consecutive ready probes before an ejected "
+                   "replica is re-admitted")
+    p.add_argument("--forward-timeout-s", type=float, default=120.0, metavar="S",
+                   help="per-forward ceiling before failing over")
+    p.add_argument("--flight-capacity", type=int, default=512, metavar="N")
+    p.add_argument("--slo-p99-ms", type=float, default=1000.0, metavar="MS")
+    p.add_argument("--slo-error-rate", type=float, default=0.01, metavar="RATE")
+    p.add_argument("--log-level", default=None,
+                   choices=["debug", "info", "warning", "error"])
+    return p
+
+
+def route_main(argv: list[str] | None = None, *, out=None) -> int:
+    """Entry point for ``repro route``."""
+    parser = build_route_parser()
+    args = parser.parse_args(argv)
+    addresses: list[str] = []
+    for chunk in args.replicas:
+        addresses.extend(a for a in chunk.split(",") if a.strip())
+    if not addresses:
+        parser.error("at least one --replicas HOST:PORT is required")
+    if args.pool_size < 1:
+        parser.error(f"--pool-size must be >= 1, got {args.pool_size}")
+    if args.log_level:
+        configure_logging(args.log_level)
+    out = out or sys.stdout
+    try:
+        config = RouterConfig(
+            host=args.host,
+            port=args.port,
+            replicas=tuple(addresses),
+            pool_size=args.pool_size,
+            health_interval_s=args.health_interval_s,
+            health_timeout_s=args.health_timeout_s,
+            eject_after=args.eject_after,
+            readmit_after=args.readmit_after,
+            forward_timeout_s=args.forward_timeout_s,
+            port_file=args.port_file,
+            flight_capacity=args.flight_capacity,
+            slo_p99_ms=args.slo_p99_ms,
+            slo_error_rate=args.slo_error_rate,
+        )
+    except ValueError as e:
+        parser.error(str(e))
+
+    async def run() -> None:
+        router = RouterServer(config)
+        await router.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, router.signal_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(
+            f"route: listening on http://{config.host}:{router.port} "
+            f"across {len(config.replicas)} replica(s)",
+            file=out,
+            flush=True,
+        )
+        await router.serve_until_shutdown()
+        print("route: drained, bye", file=out, flush=True)
+
+    try:
+        asyncio.run(run())
+    except OSError as e:
+        print(f"error: cannot listen on {config.host}:{config.port}: {e}", file=out)
+        return 1
+    return 0

@@ -9,9 +9,20 @@ server subprocess on an ephemeral port first, so one command exercises
 the full stack — that is what the CI smoke job and the E22 benchmark
 run.
 
-429 (overload) responses are retried after the server's ``Retry-After``
-hint and counted separately; anything else non-200 is an error, and any
-error fails the run (exit 1).
+429 (overload) responses are retried *inside the client* — capped
+exponential backoff honoring the server's ``Retry-After`` hint with
+deterministic seeded jitter (see :func:`repro.serve.client.
+backoff_delay_s`) — and counted separately; anything else non-200 is an
+error, and any error fails the run (exit 1).
+
+``--cluster`` points the same closed loop at a ``repro route`` front
+tier instead of a single replica: with ``--spawn --replicas N`` it
+launches N private replica subprocesses plus a router over them
+(:func:`spawn_cluster`), waits until every replica is warm-hydrated and
+routable, drives the load through the router, and reports **per-shard**
+throughput and latency tails scraped from each replica's own
+``/metrics`` — that is what the CI cluster-smoke job and the E26
+benchmark run.
 
 Every request carries a unique ``X-Repro-Request-Id``
 (``loadgen-<run>-<n>``) so a slow outlier found in the report can be
@@ -38,10 +49,14 @@ from .client import ServeClient, ServeError
 
 __all__ = [
     "PAPER_CORPUS",
+    "ClusterHandle",
+    "cluster_shard_stats",
     "family_corpus",
     "loadgen_main",
     "run_loadgen",
     "run_family_sweep",
+    "spawn_cluster",
+    "spawn_router",
     "spawn_server",
 ]
 
@@ -186,17 +201,21 @@ def run_loadgen(
             next_index += 1
             return i
 
-    def worker() -> None:
+    def worker(seed: int) -> None:
         nonlocal retries, cache_hits
-        with ServeClient(host, port) as client:
-            while True:
-                i = take()
-                if i is None:
-                    return
-                label, source, bindings, processors = corpus[i % len(corpus)]
-                t0 = time.perf_counter()
-                attempt = 0
+        # 429 retries happen inside the client (capped exponential
+        # backoff honoring Retry-After, jitter seeded per worker so runs
+        # are reproducible); the loop here only classifies outcomes.
+        with ServeClient(
+            host, port, max_retries_429=max_retries, backoff_seed=seed
+        ) as client:
+            try:
                 while True:
+                    i = take()
+                    if i is None:
+                        return
+                    label, source, bindings, processors = corpus[i % len(corpus)]
+                    t0 = time.perf_counter()
                     try:
                         client.partition(
                             source,
@@ -211,20 +230,12 @@ def run_loadgen(
                             latencies.append(time.perf_counter() - t0)
                             if client.last_cache_status in ("hit", "coalesced"):
                                 cache_hits += 1
-                        break
                     except ServeError as e:
-                        if e.status == 429 and attempt < max_retries:
-                            attempt += 1
-                            with lock:
-                                retries += 1
-                            time.sleep(e.retry_after or 0.05)
-                            continue
                         with lock:
                             errors.append(
                                 {"request": i, "label": label, "status": e.status,
                                  "code": e.code, "message": str(e)}
                             )
-                        break
                     except OSError as e:
                         with lock:
                             errors.append(
@@ -232,9 +243,14 @@ def run_loadgen(
                                  "code": "connection", "message": str(e)}
                             )
                         return
+            finally:
+                with lock:
+                    retries += client.retries_429
 
     t_start = time.perf_counter()
-    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    threads = [
+        threading.Thread(target=worker, args=(seed,)) for seed in range(clients)
+    ]
     for t in threads:
         t.start()
     for t in threads:
@@ -257,6 +273,7 @@ def run_loadgen(
         "latency_ms": {
             "mean": (sum(ok) / len(ok) * 1000) if ok else 0.0,
             "p50": percentile(ok, 0.50) * 1000,
+            "p95": percentile(ok, 0.95) * 1000,
             "p99": percentile(ok, 0.99) * 1000,
             "max": (ok[-1] * 1000) if ok else 0.0,
         },
@@ -368,18 +385,13 @@ def _server_latency(host: str, port: int) -> dict | None:
     return None
 
 
-def spawn_server(
-    *,
-    workers: int = 1,
-    queue_depth: int = 64,
-    cache_dir: str | None = None,
-    extra_args: list[str] | None = None,
-    timeout_s: float = 60.0,
+def _spawn_with_port_file(
+    subcommand: list[str], *, timeout_s: float = 60.0
 ) -> tuple[subprocess.Popen, int]:
-    """Start ``python -m repro serve`` on an ephemeral port; returns
-    ``(process, port)`` once the server is listening."""
+    """Launch ``python -m repro <subcommand>`` with ``--port 0
+    --port-file`` appended; return ``(process, port)`` once listening."""
     port_file = tempfile.NamedTemporaryFile(
-        prefix="repro-serve-port.", suffix=".txt", delete=False
+        prefix="repro-port.", suffix=".txt", delete=False
     )
     port_file.close()
     os.unlink(port_file.name)
@@ -388,20 +400,15 @@ def spawn_server(
     package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     env = dict(os.environ)
     env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
-    cmd = [
-        sys.executable, "-m", "repro", "serve",
+    cmd = [sys.executable, "-m", "repro"] + subcommand + [
         "--port", "0", "--port-file", port_file.name,
-        "--workers", str(workers), "--queue-depth", str(queue_depth),
     ]
-    if cache_dir:
-        cmd += ["--cache-dir", cache_dir]
-    cmd += extra_args or []
     proc = subprocess.Popen(cmd, env=env)
     deadline = time.monotonic() + timeout_s
     while time.monotonic() < deadline:
         if proc.poll() is not None:
             raise RuntimeError(
-                f"server subprocess exited early with code {proc.returncode}"
+                f"{subcommand[0]} subprocess exited early with code {proc.returncode}"
             )
         try:
             with open(port_file.name, encoding="utf-8") as fh:
@@ -413,7 +420,239 @@ def spawn_server(
             pass
         time.sleep(0.05)
     proc.terminate()
-    raise RuntimeError(f"server did not start within {timeout_s}s")
+    raise RuntimeError(f"{subcommand[0]} did not start within {timeout_s}s")
+
+
+def spawn_server(
+    *,
+    workers: int = 1,
+    queue_depth: int = 64,
+    cache_dir: str | None = None,
+    extra_args: list[str] | None = None,
+    timeout_s: float = 60.0,
+) -> tuple[subprocess.Popen, int]:
+    """Start ``python -m repro serve`` on an ephemeral port; returns
+    ``(process, port)`` once the server is listening."""
+    cmd = ["serve", "--workers", str(workers), "--queue-depth", str(queue_depth)]
+    if cache_dir:
+        cmd += ["--cache-dir", cache_dir]
+    cmd += extra_args or []
+    return _spawn_with_port_file(cmd, timeout_s=timeout_s)
+
+
+def spawn_router(
+    replicas: list[str],
+    *,
+    extra_args: list[str] | None = None,
+    timeout_s: float = 60.0,
+) -> tuple[subprocess.Popen, int]:
+    """Start ``python -m repro route`` over ``replicas`` (HOST:PORT list)
+    on an ephemeral port; returns ``(process, port)`` once listening."""
+    cmd = ["route", "--replicas", ",".join(replicas)]
+    cmd += extra_args or []
+    return _spawn_with_port_file(cmd, timeout_s=timeout_s)
+
+
+class ClusterHandle:
+    """A spawned router + replica fleet (see :func:`spawn_cluster`)."""
+
+    def __init__(
+        self,
+        router_proc: subprocess.Popen,
+        router_port: int,
+        replicas: list[tuple[subprocess.Popen, int]],
+    ):
+        self.router_proc = router_proc
+        self.router_port = router_port
+        self.replicas = replicas
+
+    @property
+    def replica_addresses(self) -> list[str]:
+        return [f"127.0.0.1:{port}" for _, port in self.replicas]
+
+    def wait_ready(self, timeout_s: float = 120.0) -> None:
+        """Block until the router reports every replica routable.
+
+        Replicas advertise ``ready`` only once their worker pool is
+        warm-hydrated, so returning from here means the first real
+        request will not pay process-spawn latency.
+        """
+        deadline = time.monotonic() + timeout_s
+        last = "unreachable"
+        while time.monotonic() < deadline:
+            try:
+                with ServeClient("127.0.0.1", self.router_port, timeout=5.0) as c:
+                    health = c.healthz()
+            except (ServeError, OSError) as e:
+                last = str(e)
+                time.sleep(0.1)
+                continue
+            if health.get("replicas_routable") == len(self.replicas):
+                return
+            last = (
+                f"{health.get('replicas_routable')}/{len(self.replicas)} routable"
+            )
+            time.sleep(0.1)
+        raise RuntimeError(f"cluster not ready within {timeout_s}s ({last})")
+
+    def kill_replica(self, index: int) -> None:
+        """Hard-kill one replica (failover tests); the router must absorb it."""
+        self.replicas[index][0].kill()
+
+    def terminate(self) -> None:
+        """Stop the router first, then the replicas."""
+        procs = [self.router_proc] + [p for p, _ in self.replicas]
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()
+
+
+def spawn_cluster(
+    *,
+    replicas: int = 2,
+    workers: int = 1,
+    queue_depth: int = 64,
+    cache_dir: str | None = None,
+    cache_exchange_s: float | None = None,
+    server_extra: list[str] | None = None,
+    router_extra: list[str] | None = None,
+    timeout_s: float = 60.0,
+    wait_ready: bool = True,
+) -> ClusterHandle:
+    """Spawn ``replicas`` server subprocesses plus a router over them.
+
+    With ``cache_dir`` every replica shares the directory for warm starts
+    and — when ``cache_exchange_s`` is set — periodically snapshots and
+    absorbs plan/lattice cache deltas through the union-merge lockfile
+    protocol, so one replica's analytic work warms its peers.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    fleet: list[tuple[subprocess.Popen, int]] = []
+    handle = None
+    try:
+        extra = list(server_extra or [])
+        if cache_exchange_s is not None:
+            extra += ["--cache-exchange-s", str(cache_exchange_s)]
+        for _ in range(replicas):
+            fleet.append(
+                spawn_server(
+                    workers=workers,
+                    queue_depth=queue_depth,
+                    cache_dir=cache_dir,
+                    extra_args=extra,
+                    timeout_s=timeout_s,
+                )
+            )
+        router_proc, router_port = spawn_router(
+            [f"127.0.0.1:{port}" for _, port in fleet],
+            extra_args=router_extra,
+            timeout_s=timeout_s,
+        )
+        handle = ClusterHandle(router_proc, router_port, fleet)
+        if wait_ready:
+            handle.wait_ready()
+        return handle
+    except BaseException:
+        if handle is not None:
+            handle.terminate()
+        else:
+            for proc, _ in fleet:
+                proc.terminate()
+        raise
+
+
+def cluster_shard_stats(host: str, port: int) -> list[dict]:
+    """Per-shard serving stats for the fleet behind a router.
+
+    Asks the router's ``/healthz`` for the replica roster, then scrapes
+    every replica's own ``/metrics`` directly: requests served, cache
+    dispositions, and the replica-local ``/v1/partition`` latency tail.
+    Values are cumulative since replica start — callers wanting a
+    per-run delta scrape before and after and subtract.
+    """
+    try:
+        with ServeClient(host, port, timeout=10.0) as client:
+            health = client.healthz()
+    except (ServeError, OSError):
+        return []
+    shards = []
+    for entry in health.get("replicas", []):
+        address = entry.get("address", "")
+        rhost, _, rport = address.rpartition(":")
+        shard = {
+            "replica": address,
+            "healthy": entry.get("healthy"),
+            "ready": entry.get("ready"),
+            "ejections": entry.get("ejections", 0),
+        }
+        try:
+            with ServeClient(rhost, int(rport), timeout=10.0) as rclient:
+                dump = rclient.metrics()
+        except (ServeError, OSError, ValueError):
+            shard["reachable"] = False
+            shards.append(shard)
+            continue
+        shard["reachable"] = True
+
+        def counter_total(name: str, metrics=dump.get("metrics", [])) -> float:
+            return sum(
+                e.get("value", 0) for e in metrics if e.get("name") == name
+            )
+
+        hits = counter_total("serve.response_cache.hits")
+        misses = counter_total("serve.response_cache.misses")
+        shard["requests"] = counter_total("serve.requests")
+        shard["response_cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / (hits + misses)) if hits + misses else None,
+        }
+        plan = dump.get("caches", {}).get("plan")
+        if plan:
+            lookups = plan.get("hits", 0) + plan.get("misses", 0)
+            shard["plan_cache"] = dict(
+                plan, hit_rate=(plan.get("hits", 0) / lookups) if lookups else None
+            )
+        shard["latency_ms"] = _server_latency(rhost, int(rport))
+        shards.append(shard)
+    return shards
+
+
+def _shard_deltas(
+    before: list[dict], after: list[dict], wall_s: float
+) -> list[dict]:
+    """Per-run view of each shard: request/cache deltas + throughput share."""
+    prior = {s.get("replica"): s for s in before}
+    out = []
+    for shard in after:
+        base = prior.get(shard.get("replica"), {})
+        entry = dict(shard)
+        if shard.get("reachable") and "requests" in shard:
+            delta = shard["requests"] - base.get("requests", 0)
+            entry["requests_delta"] = delta
+            entry["throughput_rps"] = (delta / wall_s) if wall_s > 0 else 0.0
+            base_rc = base.get("response_cache", {})
+            hits = shard["response_cache"]["hits"] - base_rc.get("hits", 0)
+            misses = shard["response_cache"]["misses"] - base_rc.get("misses", 0)
+            entry["response_cache_delta"] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / (hits + misses)) if hits + misses else None,
+            }
+        out.append(entry)
+    return out
 
 
 def build_loadgen_parser() -> argparse.ArgumentParser:
@@ -442,6 +681,18 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep", default="4,3", metavar="N,P",
                    help="with --families: N bound variants x P processor "
                    "counts per family (default 4,3)")
+    p.add_argument("--cluster", action="store_true",
+                   help="the target is a repro route front tier: report "
+                   "per-shard throughput and latency tails scraped from "
+                   "each replica behind it (with --spawn, launch the "
+                   "whole fleet first)")
+    p.add_argument("--replicas", type=int, default=2, metavar="N",
+                   help="with --cluster --spawn: number of replica "
+                   "subprocesses behind the spawned router (default 2)")
+    p.add_argument("--cache-exchange-s", type=float, default=None, metavar="S",
+                   help="with --cluster --spawn: replicas exchange "
+                   "plan/lattice cache deltas through --spawn-cache-dir "
+                   "every S seconds")
     p.add_argument("--spawn", action="store_true",
                    help="launch a private server subprocess on an ephemeral "
                    "port, load it, then drain it")
@@ -481,9 +732,27 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
         corpus.extend(_generated_corpus(args.generated, args.seed))
 
     proc = None
+    cluster = None
+    shards_before: list[dict] = []
     host, port = args.host, args.port
     try:
-        if args.spawn:
+        if args.spawn and args.cluster:
+            extra = ["--plan-cache"] if args.spawn_plan_cache else []
+            cluster = spawn_cluster(
+                replicas=args.replicas,
+                workers=args.spawn_workers,
+                cache_dir=args.spawn_cache_dir,
+                cache_exchange_s=args.cache_exchange_s,
+                server_extra=extra,
+            )
+            host, port = "127.0.0.1", cluster.router_port
+            print(
+                f"loadgen: spawned router on port {port} over "
+                f"{args.replicas} replica(s): "
+                f"{', '.join(cluster.replica_addresses)}",
+                file=out,
+            )
+        elif args.spawn:
             extra = ["--plan-cache"] if args.spawn_plan_cache else []
             proc, port = spawn_server(
                 workers=args.spawn_workers,
@@ -492,6 +761,8 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
             )
             host = "127.0.0.1"
             print(f"loadgen: spawned server on port {port}", file=out)
+        if args.cluster:
+            shards_before = cluster_shard_stats(host, port)
         if args.families:
             stats = run_family_sweep(
                 host=host,
@@ -512,7 +783,13 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
                 simulate=args.simulate,
                 deadline_ms=args.deadline_ms,
             )
+        if args.cluster:
+            stats["per_shard"] = _shard_deltas(
+                shards_before, cluster_shard_stats(host, port), stats["wall_s"]
+            )
     finally:
+        if cluster is not None:
+            cluster.terminate()
         if proc is not None:
             proc.terminate()
             try:
@@ -565,6 +842,25 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
             f"server-side latency ms (from /metrics histogram): "
             f"p50 {server_lat['p50']:.1f}  p95 {server_lat['p95']:.1f}  "
             f"p99 {server_lat['p99']:.1f}  over {server_lat['count']} requests",
+            file=out,
+        )
+    for shard in stats.get("per_shard", []):
+        if not shard.get("reachable"):
+            print(f"  shard {shard['replica']}: unreachable", file=out)
+            continue
+        lat = shard.get("latency_ms") or {}
+        lat_text = (
+            f"p50 {lat['p50']:.1f}  p95 {lat['p95']:.1f}  p99 {lat['p99']:.1f}"
+            if lat
+            else "no samples"
+        )
+        rc = shard.get("response_cache_delta", {})
+        rate = rc.get("hit_rate")
+        rate_text = f"{rate * 100:.0f}%" if rate is not None else "n/a"
+        print(
+            f"  shard {shard['replica']}: {shard.get('requests_delta', 0):.0f} "
+            f"requests ({shard.get('throughput_rps', 0.0):.1f} req/s), "
+            f"response-cache hit rate {rate_text}, latency ms {lat_text}",
             file=out,
         )
     for err in stats["errors"][:10]:

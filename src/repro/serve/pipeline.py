@@ -43,7 +43,7 @@ from ..obs import build_report, get_tracer, span
 from ..sim import Machine, MachineConfig, simulate_nest
 from .protocol import PartitionRequest, ProtocolError
 
-__all__ = ["execute_request", "run_batch", "init_worker"]
+__all__ = ["execute_request", "run_batch", "init_worker", "prewarm_worker"]
 
 
 def execute_request(request: PartitionRequest) -> dict:
@@ -145,6 +145,14 @@ def init_worker(
     global _PLAN_ENABLED, _plan_stats_base, _OPT_BUDGET_S
     _PLAN_ENABLED = bool(plan_cache)
     _OPT_BUDGET_S = opt_budget_s
+    # Test hook: REPRO_TEST_WORKER_INIT_DELAY_S stretches worker
+    # hydration so the /healthz readiness window is observable.
+    delay = os.environ.get("REPRO_TEST_WORKER_INIT_DELAY_S")
+    if delay:
+        try:
+            time.sleep(float(delay))
+        except ValueError:
+            pass
     if cache_dir:
         from ..lattice.persist import load_caches
 
@@ -153,6 +161,14 @@ def init_worker(
     _shipped_footprint.update(k for k, _ in DEFAULT_FOOTPRINT_TABLE.export_entries())
     _shipped_plan.update(k for k, _ in DEFAULT_PLAN_CACHE.export_entries())
     _plan_stats_base = DEFAULT_PLAN_CACHE.export_stats()
+
+
+def prewarm_worker() -> int:
+    """No-op pool task: forces the worker process to exist and finish
+    :func:`init_worker` (cache hydration) before it returns.  The server
+    submits one per worker at startup and flips ``/healthz`` ``ready``
+    once all complete."""
+    return os.getpid()
 
 
 def _plan_delta() -> dict:

@@ -120,6 +120,7 @@ class ServeConfig:
     trace_requests: bool = True  # ship worker span trees back per request
     plan_cache: bool = False  # route theorem-4 optimisation through plans
     opt_budget_s: float | None = None  # per-member parallelepiped budget
+    cache_exchange_s: float | None = None  # period of cross-replica cache exchange
 
 
 class _HttpError(Exception):
@@ -249,6 +250,9 @@ class PartitionServer:
         self._shutdown_event: asyncio.Event | None = None
         self._draining = False
         self._requests_served = 0
+        self._ready = False
+        self._prewarm_task: asyncio.Task | None = None
+        self._exchange_task: asyncio.Task | None = None
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
@@ -275,10 +279,57 @@ class PartitionServer:
         self.started_at = time.monotonic()
         self._metrics.gauge("serve.queue_depth_limit").set(self.config.queue_depth)
         self._metrics.gauge("serve.cache_entries_loaded").set(loaded)
+        self._prewarm_task = asyncio.create_task(self._prewarm())
+        if self.config.cache_dir and self.config.cache_exchange_s:
+            self._exchange_task = asyncio.create_task(self._cache_exchange_loop())
         if self.config.port_file:
             with open(self.config.port_file, "w", encoding="utf-8") as fh:
                 fh.write(f"{self.port}\n")
         logger.info("listening on %s:%d", self.config.host, self.port)
+
+    async def _prewarm(self) -> None:
+        """Hydrate the pool, then flip ``/healthz`` readiness.
+
+        The listener answers immediately (liveness), but ``ready`` stays
+        false until every pool worker has spawned and finished
+        :func:`~repro.serve.pipeline.init_worker` — so a router or a
+        rolling restart never sends traffic at a replica whose first
+        request would eat the whole cold-hydration cost.
+        """
+        try:
+            await self._batcher.prewarm()
+        except Exception:  # pragma: no cover - pool failures surface later
+            logger.exception("worker prewarm failed; serving anyway")
+        finally:
+            self._ready = True
+            self._metrics.gauge("serve.ready").set(1)
+            logger.info("worker pool warm; replica ready")
+
+    async def _cache_exchange_loop(self) -> None:
+        """Periodic cross-replica cache exchange through ``--cache-dir``.
+
+        Every period, snapshot this replica's analytic-cache deltas into
+        the shared directory (union-merge under the lockfile) and absorb
+        peers' entries published since the last cycle.  Runs in an
+        executor thread — the lockfile wait must never stall the loop.
+        """
+        from ..lattice.persist import exchange_caches
+
+        loop = asyncio.get_running_loop()
+        assert self.config.cache_exchange_s is not None
+        while True:
+            await asyncio.sleep(self.config.cache_exchange_s)
+            try:
+                written, absorbed = await loop.run_in_executor(
+                    None, exchange_caches, self.config.cache_dir
+                )
+            except (OSError, TimeoutError) as e:
+                self._metrics.counter("serve.cache_exchange.errors").inc()
+                logger.warning("cache exchange failed: %s", e)
+                continue
+            self._metrics.counter("serve.cache_exchange.cycles").inc()
+            self._metrics.counter("serve.cache_exchange.absorbed").inc(absorbed)
+            self._metrics.gauge("serve.cache_exchange.last_written").set(written)
 
     def signal_shutdown(self) -> None:
         """Begin graceful drain (call from within the event loop)."""
@@ -295,6 +346,14 @@ class PartitionServer:
         if self._server is None:
             return
         self._draining = True
+        for task in (self._prewarm_task, self._exchange_task):
+            if task is not None and not task.done():
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._prewarm_task = self._exchange_task = None
         self._server.close()
         await self._server.wait_closed()
         self._server = None
@@ -597,6 +656,7 @@ class PartitionServer:
     def _healthz(self) -> dict:
         return {
             "status": "draining" if self._draining else "ok",
+            "ready": bool(self._ready and not self._draining),
             "version": __version__,
             "uptime_s": round(time.monotonic() - self.started_at, 3)
             if self.started_at is not None
@@ -651,8 +711,11 @@ class EmbeddedServer:
     context manager.
     """
 
-    def __init__(self, config: ServeConfig | None = None):
-        self.server = PartitionServer(config)
+    def __init__(self, config: ServeConfig | None = None, *, server=None):
+        # ``server`` lets subclasses (EmbeddedRouter) reuse the thread
+        # harness around any object with the same lifecycle protocol
+        # (start / serve_until_shutdown / signal_shutdown / port).
+        self.server = server if server is not None else PartitionServer(config)
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
@@ -749,6 +812,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
                    "structure and instantiate cached plans per request "
                    "(falls back to the numeric optimizer when a structure "
                    "has no closed form)")
+    p.add_argument("--cache-exchange-s", type=float, default=None, metavar="S",
+                   help="with --cache-dir: every S seconds, snapshot this "
+                   "replica's analytic-cache deltas into the shared cache "
+                   "directory and absorb peers' entries (cross-replica "
+                   "cache exchange for multi-replica serving)")
     p.add_argument("--opt-budget", type=float, default=None, metavar="SECONDS",
                    help="wall-time budget per parallelepiped portfolio "
                    "member (SLSQP, simulated annealing) in partition "
@@ -793,6 +861,7 @@ def serve_main(argv: list[str] | None = None, *, out=None) -> int:
         trace_requests=not args.no_request_traces,
         plan_cache=args.plan_cache,
         opt_budget_s=args.opt_budget,
+        cache_exchange_s=args.cache_exchange_s,
     )
 
     async def run() -> None:

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
+from pathlib import Path
 
 import pytest
 
@@ -67,6 +69,106 @@ def test_two_writer_union_survives(tmp_path):
             assert on_disk[key] == value
     # The lockfile is released afterwards.
     assert not (tmp_path / persist.LOCK_FILENAME).exists()
+
+
+def _exchange_writer(cache_dir: str, writer: int, cycles: int, per_cycle: int, barrier) -> None:
+    """Replica-style loop: absorb fresh local entries, then exchange."""
+    table = FootprintTable()
+    barrier.wait()
+    for cycle in range(cycles):
+        start = cycle * per_cycle
+        table.absorb_entries(
+            [((("w", writer, i), 1), writer * 10_000 + i) for i in range(start, start + per_cycle)]
+        )
+        persist.exchange_caches(
+            cache_dir,
+            footprint_table=table,
+            lattice_cache=LatticeCountCache(),
+            plan_cache=PlanCache(),
+        )
+
+
+def test_three_writer_exchange_cycles_converge_to_union(tmp_path):
+    """3 replicas × repeated snapshot/absorb cycles: nothing is ever lost.
+
+    Each exchange is a read-merge-write under the lockfile, so the disk
+    file grows monotonically; after every writer finishes, the file must
+    hold the exact union of everything any writer ever published.
+    """
+    writers, cycles, per_cycle = (1, 2, 3), 4, 50
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(len(writers))
+    procs = [
+        ctx.Process(
+            target=_exchange_writer, args=(str(tmp_path), w, cycles, per_cycle, barrier)
+        )
+        for w in writers
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+
+    merged = FootprintTable()
+    loaded = persist.load_caches(
+        str(tmp_path),
+        footprint_table=merged,
+        lattice_cache=LatticeCountCache(),
+        plan_cache=PlanCache(),
+    )
+    assert loaded == len(writers) * cycles * per_cycle
+    on_disk = dict(merged.export_entries())
+    for writer in writers:
+        for i in range(cycles * per_cycle):
+            assert on_disk[(("w", writer, i), 1)] == writer * 10_000 + i
+    assert not (tmp_path / persist.LOCK_FILENAME).exists()
+
+
+def _lock_holder(cache_dir: str, flag: str) -> None:
+    lock = persist._CacheLock(Path(cache_dir))
+    lock.__enter__()
+    Path(flag).write_text("held")
+    time.sleep(300)  # parent SIGKILLs us long before this elapses
+
+
+def test_sigkill_mid_lock_does_not_wedge_writers(tmp_path, monkeypatch):
+    """A writer killed while holding the lock must not block forever.
+
+    SIGKILL skips ``__exit__``, so the lockfile *is* left behind — the
+    guarantee is that the next writer breaks it once it crosses the
+    staleness horizon and completes its save, leaving no lock after.
+    """
+    ctx = multiprocessing.get_context()
+    flag = tmp_path / "held.flag"
+    holder = ctx.Process(target=_lock_holder, args=(str(tmp_path), str(flag)))
+    holder.start()
+    try:
+        deadline = time.monotonic() + 30
+        while not flag.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert flag.exists(), "lock holder never signalled acquisition"
+        os.kill(holder.pid, signal.SIGKILL)
+        holder.join(timeout=30)
+    finally:
+        if holder.is_alive():  # pragma: no cover - cleanup on assert failure
+            holder.kill()
+            holder.join()
+    lock = tmp_path / persist.LOCK_FILENAME
+    assert lock.exists()  # orphaned by the kill
+
+    monkeypatch.setattr(persist, "LOCK_STALE_S", 0.5)
+    time.sleep(0.7)  # let the orphan cross the staleness horizon
+    t = FootprintTable()
+    t.absorb_entries(_synthetic_entries(9, 5))
+    written = persist.save_caches(
+        str(tmp_path),
+        footprint_table=t,
+        lattice_cache=LatticeCountCache(),
+        plan_cache=PlanCache(),
+    )
+    assert written == 5
+    assert not lock.exists()
 
 
 def test_save_merges_with_existing_file(tmp_path):

@@ -188,7 +188,9 @@ class TestBackpressure:
             t = threading.Thread(target=occupy)
             t.start()
             # Wait until the slow request is admitted and in flight.
-            with ServeClient("127.0.0.1", emb.port) as c:
+            # max_retries_429=0 surfaces the raw 429 instead of letting
+            # the client ride it out with its built-in backoff.
+            with ServeClient("127.0.0.1", emb.port, max_retries_429=0) as c:
                 deadline = time.monotonic() + 30
                 while time.monotonic() < deadline:
                     if c.healthz()["inflight"] >= 1:
