@@ -176,11 +176,36 @@ def _inject_anneal():
             yield
 
 
+@contextmanager
+def _inject_flow():
+    """Drop one line from every multi-line footprint the scheduler sees.
+
+    The communication schedule undercounts both consumer reads and
+    producer writes; the replayed execution (an independent event-level
+    walk in :mod:`repro.flow.execute`) is untouched, so the ``flow-
+    parity`` and ``flow-conservation`` oracles must flag the mismatch on
+    every transfer-bearing flow case.
+    """
+    from ..flow import schedule as _fsched
+
+    orig = _fsched._line_keys
+
+    def bad(array, coords, line_size):
+        lines = orig(array, coords, line_size)
+        if len(lines) > 1:
+            lines = set(sorted(lines)[:-1])
+        return lines
+
+    with _patched(_fsched, "_line_keys", bad):
+        yield
+
+
 FAULTS = {
     "spread": _inject_spread,
     "exact-count": _inject_exact_count,
     "plan": _inject_plan,
     "anneal": _inject_anneal,
+    "flow": _inject_flow,
 }
 
 
@@ -369,18 +394,50 @@ def _failure_entry(
     }
 
 
+def _flow_failure_entry(spec, art, origin: str) -> dict:
+    """Failure entry for a flow case (report-schema compatible).
+
+    Flow cases are not shrunk (the generator already emits minimal
+    two-statement programs); the ``shrunk_*`` fields echo the original
+    spec so report consumers see one uniform failure shape.
+    """
+    from .flowcheck import flow_spec_to_dict
+
+    v = art.violations[0]
+    return {
+        "case_id": spec.case_id,
+        "origin": origin,
+        "invariant": v.invariant,
+        "detail": v.detail,
+        "all_violations": [
+            {"invariant": x.invariant, "detail": x.detail} for x in art.violations
+        ],
+        "spec": flow_spec_to_dict(spec),
+        "shrunk_spec": flow_spec_to_dict(spec),
+        "shrunk_depth": spec.depth,
+        "shrunk_source": spec.source(),
+        "shrink_steps": 0,
+    }
+
+
 def _run_task_batch(
-    tasks: list[tuple], seed: int, config: CheckConfig, fault: str | None
+    tasks: list[tuple],
+    seed: int,
+    config: CheckConfig,
+    fault: str | None,
+    mode: str = "doall",
 ) -> list[tuple]:
     """Run a contiguous batch of check tasks (module-level for pickling).
 
     Each task is ``("corpus", spec_dict)`` or ``("generated", case_id)``.
-    The fault context is applied *inside* this function so fault
-    injection behaves identically whether the batch runs in the driver
-    process (``workers=1``) or in a pool child — the driver never
-    activates the fault itself, which would double-apply it under the
-    fork start method.  Shrinking of failures also happens here, so
-    failing cases parallelise with the rest.
+    ``mode="flow"`` swaps in the dataflow generator and oracles
+    (:mod:`repro.check.flowcheck`) over the same plumbing.  The fault
+    context is applied *inside* this function so fault injection behaves
+    identically whether the batch runs in the driver process
+    (``workers=1``) or in a pool child — the driver never activates the
+    fault itself, which would double-apply it under the fork start
+    method.  Shrinking of failures also happens here, so failing cases
+    parallelise with the rest.
     """
     from ..lattice.points import DEFAULT_FOOTPRINT_TABLE, DEFAULT_LATTICE_CACHE
 
@@ -393,10 +450,20 @@ def _run_task_batch(
         if multiprocessing.parent_process() is not None:
             os._exit(3)
 
+    if mode == "flow":
+        from .flowcheck import flow_spec_from_dict, generate_flow_case, run_flow_case
+
     out = []
     with inject_fault(fault):
         for origin, payload in tasks:
-            if origin == "corpus":
+            if mode == "flow":
+                if origin == "corpus":
+                    spec = flow_spec_from_dict(payload)
+                else:
+                    spec = generate_flow_case(
+                        payload, seed, max_accesses=config.max_accesses
+                    )
+            elif origin == "corpus":
                 spec = spec_from_dict(payload)
             else:
                 spec = generate_case(payload, seed, max_accesses=config.max_accesses)
@@ -404,8 +471,17 @@ def _run_task_batch(
             # tracing machinery the serve workers use, so per-case wall
             # time is attributable in any profile of a check run.
             with span("check.case", case_id=spec.case_id, origin=origin):
-                art = run_case(spec, config)
-            entry = _failure_entry(spec, art, config, origin) if art.violations else None
+                art = (
+                    run_flow_case(spec, config)
+                    if mode == "flow"
+                    else run_case(spec, config)
+                )
+            if not art.violations:
+                entry = None
+            elif mode == "flow":
+                entry = _flow_failure_entry(spec, art, origin)
+            else:
+                entry = _failure_entry(spec, art, config, origin)
             first = (
                 (art.violations[0].invariant, art.violations[0].detail)
                 if art.violations
@@ -430,8 +506,14 @@ def run_check(
     config: CheckConfig | None = None,
     fault: str | None = None,
     workers: int = 1,
+    mode: str = "doall",
 ) -> dict:
     """Replay the corpus, fuzz ``cases`` fresh nests, report the verdict.
+
+    ``mode="flow"`` fuzzes two-statement dataflow programs and evaluates
+    the schedule-vs-replay oracles (:mod:`repro.check.flowcheck`)
+    instead of the single-nest pipeline; the corpus, when given, must be
+    a ``repro.flow-corpus`` document.
 
     ``workers > 1`` partitions the tasks (corpus replays first, then the
     seeded generated cases) into contiguous batches across a
@@ -451,13 +533,18 @@ def run_check(
 
     tasks: list[tuple] = []
     if corpus_path and os.path.exists(corpus_path):
-        entries = load_corpus(corpus_path)
+        if mode == "flow":
+            from .flowcheck import load_flow_corpus
+
+            entries = load_flow_corpus(corpus_path)
+        else:
+            entries = load_corpus(corpus_path)
         corpus_info = {"path": str(corpus_path), "entries": len(entries)}
         tasks.extend(("corpus", entry["spec"]) for entry in entries)
     tasks.extend(("generated", case_id) for case_id in range(cases))
 
     if workers == 1 or len(tasks) <= 1:
-        results, _, _, _ = _run_task_batch(tasks, seed, config, fault)
+        results, _, _, _ = _run_task_batch(tasks, seed, config, fault, mode)
     else:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
@@ -473,7 +560,7 @@ def run_check(
         results = []
         with ProcessPoolExecutor(max_workers=nworkers) as pool:
             futures = [
-                pool.submit(_run_task_batch, batch, seed, config, fault)
+                pool.submit(_run_task_batch, batch, seed, config, fault, mode)
                 for batch in batches
             ]
             for future in futures:
@@ -520,6 +607,7 @@ def run_check(
         config=config.to_dict(),
         fault=fault,
         duration_s=time.perf_counter() - t0,
+        meta={"mode": "flow"} if mode == "flow" else None,
     )
 
 
@@ -537,6 +625,10 @@ def check_main(argv: list[str] | None = None, *, out=None) -> int:
                         help="replay a persisted corpus before fuzzing")
     parser.add_argument("--json-report", default=None, metavar="PATH",
                         help="write the repro.check-report JSON here")
+    parser.add_argument("--flow", action="store_true",
+                        help="fuzz two-statement dataflow programs and check "
+                        "the communication schedule against the replayed "
+                        "execution (conservation + transfer-count parity)")
     parser.add_argument("--inject-fault", default=None, choices=sorted(FAULTS),
                         help="deliberately break one oracle (self-test)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
@@ -578,6 +670,7 @@ def check_main(argv: list[str] | None = None, *, out=None) -> int:
             config=config,
             fault=args.inject_fault,
             workers=args.workers,
+            mode="flow" if args.flow else "doall",
         )
     except ReproError as e:
         print(f"repro check: error: {e}", file=out)

@@ -126,6 +126,22 @@ def build_parser() -> argparse.ArgumentParser:
         "when it runs out — unbudgeted runs are bit-reproducible",
     )
     p.add_argument(
+        "--flow",
+        action="store_true",
+        help="treat the source as a multi-statement dataflow program "
+        "(repro.flow): legalize each statement into the paper's form, "
+        "co-partition across flow dependences, and emit the inter-tile "
+        "communication schedule",
+    )
+    p.add_argument(
+        "--flow-strategy",
+        choices=["co", "independent"],
+        default="co",
+        help="flow tile selection: 'co' aligns producer/consumer grids to "
+        "minimize total traffic, 'independent' optimizes each statement "
+        "alone (default: co)",
+    )
+    p.add_argument(
         "--pseudocode",
         metavar="PROCS",
         help="emit pseudo-code for a comma-separated processor list",
@@ -196,6 +212,113 @@ def _profile_table(tracer) -> str:
     return format_table(["phase", "ms", "peak RSS (KiB)"], rows)
 
 
+def _flow_main(args, source, bindings, cache_dir, emit, tracer) -> int:
+    """The ``--flow`` pipeline: dataflow program → co-partition →
+    communication schedule → (optionally) end-to-end replay.
+
+    Calls the same :func:`repro.flow.run.run_flow` the service dispatches
+    to, so ``--json-report`` output is byte-identical (timings aside) to
+    a ``POST /v1/partition`` response with ``"program": "flow"``.
+    """
+    from .flow import run_flow
+    from .lattice import DEFAULT_LATTICE_CACHE, analytic_cache_stats
+    from .lattice.persist import save_caches
+
+    if args.trace_out:
+        emit("note: --trace-out has no effect with --flow")
+    if args.pseudocode is not None:
+        emit("note: --pseudocode has no effect with --flow")
+
+    plan_cache = None
+    if args.plan_cache:
+        from .core.plan import DEFAULT_PLAN_CACHE
+
+        plan_cache = DEFAULT_PLAN_CACHE
+    try:
+        report = run_flow(
+            source,
+            processors=args.processors,
+            bindings=bindings,
+            strategy=args.flow_strategy,
+            method=args.method,
+            simulate=args.simulate,
+            sweeps=args.sweeps,
+            workers=args.workers or 1,
+            cache=DEFAULT_LATTICE_CACHE if cache_dir else None,
+            plan_cache=plan_cache,
+            opt_budget_s=args.opt_budget,
+            label=args.source,
+            caches=analytic_cache_stats,
+        )
+    except ReproError as e:
+        emit(f"error: {e}")
+        return 1
+
+    flow = report["flow"]
+    emit(f"flow program: {len(flow['statements'])} statements, "
+         f"P = {args.processors}, strategy = {flow['strategy']}")
+    for st in flow["statements"]:
+        grid = st["partition"].get("grid")
+        shape = f"grid {grid}" if grid is not None else "parallelepiped"
+        emit(f"  {st['name']}: extents {st['extents']} "
+             f"({st['iterations']} iterations), {st['tiles']} tiles, {shape}")
+    if flow["graph"]["edges"]:
+        emit("dependences:")
+        for e in flow["graph"]["edges"]:
+            emit(f"  {e['producer']} -> {e['consumer']} on {e['array']} ({e['kind']})")
+    else:
+        emit("dependences: none")
+    totals = flow["schedule"]["totals"]
+    emit(f"communication schedule: {totals['transfer_lines']} transfer lines "
+         f"({totals['remote_lines']} distinct per consumer processor), "
+         f"digest {flow['schedule']['digest'][:12]}")
+    for pair, n in sorted(totals["by_pair"].items()):
+        emit(f"  {pair}: {n} lines")
+    emit(f"predicted: compute {flow['predicted_compute']:.0f} + "
+         f"transfers {flow['predicted_transfers']:.0f} "
+         f"({flow['candidates_scored']} candidate grids scored)")
+
+    if args.simulate:
+        emit()
+        parity = flow["parity"]
+        emit(f"replay: {len(flow['phases'])} phases, schedule-vs-measured "
+             f"parity {'OK' if parity['match'] else 'MISMATCH'}")
+        rows = [
+            [ph["statement"], ph["round"], ph["accesses"], ph["misses"],
+             ph["coherence_misses"], ph["network_messages"]]
+            for ph in flow["phases"]
+        ]
+        emit(format_table(
+            ["statement", "round", "accesses", "misses", "coherence", "messages"],
+            rows,
+        ))
+        if not parity["match"]:
+            emit(f"  schedule: {parity['schedule']}")
+            emit(f"  measured: {parity['measured']}")
+
+    if args.json_report:
+        try:
+            dump_report(report, args.json_report)
+        except OSError as e:
+            emit(f"error: cannot write --json-report {args.json_report!r}: {e}")
+            return 1
+        emit()
+        emit(f"run report -> {args.json_report}")
+        logger.info("wrote run report to %s", args.json_report)
+
+    if cache_dir:
+        try:
+            written = save_caches(cache_dir)
+            logger.info("persisted analytic caches: %d entries in %s", written, cache_dir)
+        except OSError as e:
+            emit(f"note: could not persist analytic caches to {cache_dir!r}: {e}")
+
+    if args.profile:
+        emit()
+        emit(_profile_table(tracer))
+    return 0
+
+
 def main(argv: list[str] | None = None, *, out=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -259,6 +382,8 @@ def main(argv: list[str] | None = None, *, out=None) -> int:
         sys.stdin.read() if args.source == "-" else open(args.source).read()
     )
     bindings = _bindings(args.define)
+    if args.flow:
+        return _flow_main(args, source, bindings, cache_dir, emit, tracer)
     try:
         with span("lang.parse"):
             program = parse_program(source)

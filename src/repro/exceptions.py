@@ -13,6 +13,7 @@ __all__ = [
     "NotUnimodularError",
     "ParseError",
     "LoweringError",
+    "FlowLoweringError",
     "PartitionError",
     "OptimizationError",
     "SimulationError",
@@ -57,6 +58,31 @@ class LoweringError(ReproError, ValueError):
     """The AST could not be lowered to the affine loop-nest IR.
 
     Raised e.g. for subscripts that are not affine in the loop indices.
+
+    Attributes
+    ----------
+    line, column:
+        1-based source position of the offending construct, when known.
+        Multi-statement programs reuse index names across nests, so the
+        position — not the index variable — is what disambiguates.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class FlowLoweringError(LoweringError):
+    """A multi-statement dataflow program could not be legalized.
+
+    Raised when a cross-statement dependence falls outside the paper's
+    model — e.g. a producer/consumer reference pair on the same array
+    that intersects but is not uniformly generated (Definition 4), so
+    the Section 3 footprint machinery cannot price its communication.
     """
 
 

@@ -1,0 +1,50 @@
+"""Affine dataflow frontend (multi-statement programs, flow dependences).
+
+The paper's machinery accepts one perfect ``Doall`` nest.  This package
+accepts *programs* — several (possibly imperfect) nests whose statements
+read arrays written by earlier statements — and drives the whole
+existing stack over them:
+
+* :mod:`repro.flow.lower` legalizes each statement into the paper's
+  form (one perfect per-statement :class:`~repro.core.loopnest.LoopNest`)
+  and builds a statement-level dataflow graph with affine dependence
+  edges (:mod:`repro.flow.graph`), rejecting dependences outside the
+  uniformly-generated model with typed diagnostics.
+* :mod:`repro.flow.copartition` picks per-statement tile shapes — either
+  independently per statement or *co-partitioned* onto one aligned grid
+  that minimizes Theorem-2 traffic plus inter-statement transfers.
+* :mod:`repro.flow.schedule` computes the inter-tile communication sets
+  (which producer tile's written lines each consumer tile touches) and
+  emits a versioned, replayable communication schedule.
+* :mod:`repro.flow.execute` replays the scheduled program end-to-end on
+  one shared MSI machine (producer nest, coherence-visible handoff,
+  consumer nest) so predicted vs measured transfer traffic lands in the
+  ordinary run report (:mod:`repro.flow.run`).
+"""
+
+from .graph import DataflowGraph, FlowEdge, FlowStatement
+from .lower import compile_flow, flow_uisets, lower_flow_program
+from .copartition import FlowPartition, StatementPartition, partition_flow
+from .schedule import FLOW_SCHEDULE_SCHEMA, FLOW_SCHEDULE_VERSION, build_schedule
+from .execute import FlowSimulation, PhaseStats, measure_transfers, simulate_flow
+from .run import run_flow
+
+__all__ = [
+    "DataflowGraph",
+    "FlowEdge",
+    "FlowStatement",
+    "compile_flow",
+    "flow_uisets",
+    "lower_flow_program",
+    "FlowPartition",
+    "StatementPartition",
+    "partition_flow",
+    "FLOW_SCHEDULE_SCHEMA",
+    "FLOW_SCHEDULE_VERSION",
+    "build_schedule",
+    "FlowSimulation",
+    "PhaseStats",
+    "measure_transfers",
+    "simulate_flow",
+    "run_flow",
+]

@@ -111,6 +111,7 @@ class RefNode:
     subscripts: tuple[AffineExpr, ...]
     sync: bool = False
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -162,6 +163,7 @@ class Assign:
     lhs: RefNode
     rhs: object = Const(0)
     line: int = 0
+    column: int = 0
 
     @property
     def rhs_refs(self) -> tuple[RefNode, ...]:
@@ -178,6 +180,7 @@ class LoopNode:
     upper: AffineExpr
     body: tuple = field(default_factory=tuple)  # LoopNode | Assign
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)

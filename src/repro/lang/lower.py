@@ -55,7 +55,9 @@ def _lower_nest(node: LoopNode, bindings: dict[str, int] | None = None) -> LoopN
             if par_loops:
                 raise LoweringError(
                     f"Doseq({n.index}) nested inside Doall loops is not supported; "
-                    "the paper's Figure 9 form has Doseq outermost"
+                    "the paper's Figure 9 form has Doseq outermost",
+                    n.line,
+                    n.column,
                 )
             seq_loops.append(loop)
         else:
@@ -64,13 +66,17 @@ def _lower_nest(node: LoopNode, bindings: dict[str, int] | None = None) -> LoopN
         stmts = [b for b in n.body if isinstance(b, Assign)]
         if inner_loops and stmts:
             raise LoweringError(
-                f"loop {n.index} (line {n.line}) mixes statements and inner loops; "
-                "only perfect nests are supported (Section 2.1)"
+                f"loop {n.index} mixes statements and inner loops; "
+                "only perfect nests are supported (Section 2.1)",
+                n.line,
+                n.column,
             )
         if len(inner_loops) > 1:
             raise LoweringError(
-                f"loop {n.index} (line {n.line}) has {len(inner_loops)} inner loops; "
-                "only perfect nests are supported"
+                f"loop {n.index} has {len(inner_loops)} inner loops; "
+                "only perfect nests are supported",
+                n.line,
+                n.column,
             )
         for il in inner_loops:
             walk(il)
@@ -78,9 +84,9 @@ def _lower_nest(node: LoopNode, bindings: dict[str, int] | None = None) -> LoopN
 
     walk(node)
     if not par_loops:
-        raise LoweringError("nest has no Doall loop to partition")
+        raise LoweringError("nest has no Doall loop to partition", node.line, node.column)
     if not statements:
-        raise LoweringError("nest body is empty")
+        raise LoweringError("nest body is empty", node.line, node.column)
 
     index_names = [l.index for l in par_loops]
     seq_names = {l.index for l in seq_loops}
@@ -110,13 +116,16 @@ def _lower_ref(
         for var, coeff in sub.coeffs:
             if var in seq_names:
                 raise LoweringError(
-                    f"{node.array} (line {node.line}): subscript varies with "
-                    f"sequential index {var!r}; outside the paper's model"
+                    f"{node.array}: subscript varies with "
+                    f"sequential index {var!r}; outside the paper's model",
+                    node.line,
+                    node.column,
                 )
             if var not in index_names:
                 raise LoweringError(
-                    f"{node.array} (line {node.line}): unbound symbol {var!r} "
-                    "in subscript"
+                    f"{node.array}: unbound symbol {var!r} in subscript",
+                    node.line,
+                    node.column,
                 )
             g[index_names.index(var), c] = coeff
     kind = AccessKind.SYNC if node.sync else (AccessKind.WRITE if lhs else AccessKind.READ)

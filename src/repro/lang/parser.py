@@ -119,7 +119,7 @@ class Parser:
                     f"unexpected {tok.text!r} in loop body", tok.line, tok.column
                 )
             self.skip_newlines()
-        return LoopNode(kind, index, lower, upper, tuple(body), head.line)
+        return LoopNode(kind, index, lower, upper, tuple(body), head.line, head.column)
 
     # -- statements -------------------------------------------------------
     def parse_assign(self) -> Assign:
@@ -128,7 +128,7 @@ class Parser:
         rhs = self.parse_rhs()
         if self.peek().kind is TokenKind.NEWLINE:
             self.next()
-        return Assign(lhs, rhs, lhs.line)
+        return Assign(lhs, rhs, lhs.line, lhs.column)
 
     def parse_rhs(self):
         expr = self.parse_rhs_term()
@@ -191,7 +191,7 @@ class Parser:
             self.next()
             subs.append(self.parse_affine())
         self.expect(close)
-        return RefNode(name_tok.text, tuple(subs), sync, name_tok.line)
+        return RefNode(name_tok.text, tuple(subs), sync, name_tok.line, name_tok.column)
 
     # -- affine expressions ------------------------------------------------
     def parse_affine(self) -> AffineExpr:

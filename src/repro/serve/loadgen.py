@@ -52,6 +52,7 @@ __all__ = [
     "ClusterHandle",
     "cluster_shard_stats",
     "family_corpus",
+    "flow_family_corpus",
     "loadgen_main",
     "run_loadgen",
     "run_family_sweep",
@@ -158,6 +159,47 @@ def family_corpus(
     ]
 
 
+def flow_family_corpus(
+    family: int, n_variants: int, p_variants: int
+) -> list[tuple[str, str, dict, int, dict]]:
+    """Dataflow-program request sweep for one structural family.
+
+    The flow analogue of :func:`family_corpus`: every variant shares one
+    two-statement pipeline *structure* — a stencil producer handing
+    ``T`` to a shifted consumer, offsets fixed by the family index —
+    while bounds (``N``) and processor counts vary.  Each statement is
+    independently optimized behind the scenes (co-partitioning runs the
+    per-statement optimum first), so with ``--plan-cache`` the server
+    solves each statement's closed form once per family and every later
+    variant instantiates from the structure-keyed plan tier.
+
+    Entries carry a fifth element: extra ``client.partition`` keyword
+    arguments selecting the flow pipeline.
+    """
+    dx = family % 4 + 1
+    dy = family // 4 % 4 + 1
+    source = (
+        "Doall (i, 0, N)\n  Doall (j, 0, N)\n"
+        f"    T[i,j] = A[i,j] + A[i+{dx},j] + A[i,j+{dy}]\n"
+        "  EndDoall\nEndDoall\n"
+        "Doall (i, 0, N)\n  Doall (j, 0, N)\n"
+        f"    B[i,j] = T[i,j] + T[i+{dx},j]\n"
+        "  EndDoall\nEndDoall\n"
+    )
+    procs = [4, 8, 6, 12, 16, 24][: max(1, p_variants)]
+    return [
+        (
+            f"flow{family}-N{15 + 4 * k}-P{p}",
+            source,
+            {"N": 15 + 4 * k},
+            p,
+            {"program": "flow", "strategy": "co"},
+        )
+        for k in range(n_variants)
+        for p in procs
+    ]
+
+
 def percentile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile of an ascending list (0 for empty input)."""
     if not sorted_values:
@@ -214,7 +256,11 @@ def run_loadgen(
                     i = take()
                     if i is None:
                         return
-                    label, source, bindings, processors = corpus[i % len(corpus)]
+                    entry = corpus[i % len(corpus)]
+                    label, source, bindings, processors = entry[:4]
+                    # Optional fifth element: extra request kwargs (the
+                    # flow families ride these through the protocol).
+                    extra = entry[4] if len(entry) > 4 else {}
                     t0 = time.perf_counter()
                     try:
                         client.partition(
@@ -225,6 +271,7 @@ def run_loadgen(
                             label=label,
                             deadline_ms=deadline_ms,
                             request_id=f"loadgen-{run_id}-{i}",
+                            **extra,
                         )
                         with lock:
                             latencies.append(time.perf_counter() - t0)
@@ -299,19 +346,23 @@ def run_family_sweep(
     n_variants: int,
     p_variants: int,
     deadline_ms: int | None = None,
+    flow: bool = False,
 ) -> dict:
     """Drive ``families`` structure-family sweeps; report per-family stats.
 
     Families run sequentially (their request mix must not interleave) and
     the server's plan-cache counters are scraped before and after each,
     so every family's entry carries its own hit/miss/fallback delta and
-    hit rate — the per-family figures BENCH_serve.json records.
+    hit rate — the per-family figures BENCH_serve.json records.  With
+    ``flow`` the families are two-statement dataflow pipelines
+    (:func:`flow_family_corpus`) instead of single nests.
     """
     family_entries: list[dict] = []
     total_requests = total_completed = total_errors = 0
     t_start = time.perf_counter()
     for family in range(families):
-        corpus = family_corpus(family, n_variants, p_variants)
+        make = flow_family_corpus if flow else family_corpus
+        corpus = make(family, n_variants, p_variants)
         before = _plan_cache_stats(host, port) or {}
         stats = run_loadgen(
             host=host,
@@ -330,6 +381,7 @@ def run_family_sweep(
         family_entries.append(
             {
                 "family": family,
+                "program": "flow" if flow else "doall",
                 "requests": len(corpus),
                 "completed": stats["completed"],
                 "errors": stats["error_count"],
@@ -681,6 +733,10 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep", default="4,3", metavar="N,P",
                    help="with --families: N bound variants x P processor "
                    "counts per family (default 4,3)")
+    p.add_argument("--flow", action="store_true",
+                   help="with --families: sweep two-statement dataflow "
+                   "pipelines (\"program\": \"flow\") instead of single "
+                   "nests")
     p.add_argument("--cluster", action="store_true",
                    help="the target is a repro route front tier: report "
                    "per-shard throughput and latency tails scraped from "
@@ -719,6 +775,8 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
         parser.error(f"--generated must be >= 0, got {args.generated}")
     if args.families < 0:
         parser.error(f"--families must be >= 0, got {args.families}")
+    if args.flow and not args.families:
+        parser.error("--flow requires --families")
     try:
         sweep_n, sweep_p = (int(x) for x in args.sweep.split(","))
         if sweep_n < 1 or sweep_p < 1:
@@ -772,6 +830,7 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
                 n_variants=sweep_n,
                 p_variants=sweep_p,
                 deadline_ms=args.deadline_ms,
+                flow=args.flow,
             )
         else:
             stats = run_loadgen(
@@ -808,8 +867,9 @@ def loadgen_main(argv: list[str] | None = None, *, out=None) -> int:
             plan = entry["plan"]
             rate = plan.get("hit_rate")
             rate_text = f"{rate * 100:.0f}%" if rate is not None else "n/a"
+            kind = "flow family" if entry.get("program") == "flow" else "family"
             print(
-                f"  family {entry['family']}: {entry['completed']}/"
+                f"  {kind} {entry['family']}: {entry['completed']}/"
                 f"{entry['requests']} ok, plan hits {plan['hits']} "
                 f"misses {plan['misses']} fallbacks {plan['fallbacks']} "
                 f"(hit rate {rate_text}), p50 "

@@ -56,6 +56,26 @@ def execute_request(request: PartitionRequest) -> dict:
     """
     tracer = get_tracer()
     tracer.reset()  # the report's spans describe only this request
+    if request.program == "flow":
+        from ..flow import run_flow
+
+        try:
+            return run_flow(
+                request.source,
+                processors=request.processors,
+                bindings=dict(request.bindings),
+                strategy=request.strategy,
+                method=request.method,
+                simulate=request.simulate,
+                sweeps=request.sweeps,
+                cache=DEFAULT_LATTICE_CACHE,
+                plan_cache=DEFAULT_PLAN_CACHE if _PLAN_ENABLED else None,
+                opt_budget_s=_OPT_BUDGET_S,
+                label=request.label,
+                caches=analytic_cache_stats,
+            )
+        except ReproError as e:
+            raise ProtocolError(str(e), code="pipeline-error") from e
     try:
         with span("lang.parse"):
             program = parse_program(request.source)

@@ -27,6 +27,8 @@ __all__ = [
     "MAX_BODY_BYTES",
     "METHODS",
     "ENGINES",
+    "PROGRAMS",
+    "STRATEGIES",
     "ProtocolError",
     "PartitionRequest",
     "validate_partition_request",
@@ -41,6 +43,8 @@ MAX_BODY_BYTES = 1 << 20
 
 METHODS = ("rectangular", "parallelepiped", "auto")
 ENGINES = ("auto", "fast", "exact")
+PROGRAMS = ("doall", "flow")
+STRATEGIES = ("co", "independent")
 
 _ALLOWED_FIELDS = {
     "source",
@@ -50,6 +54,8 @@ _ALLOWED_FIELDS = {
     "simulate",
     "sweeps",
     "engine",
+    "program",
+    "strategy",
     "label",
     "deadline_ms",
 }
@@ -107,6 +113,8 @@ class PartitionRequest:
     simulate: bool = False
     sweeps: int = 1
     engine: str = "auto"
+    program: str = "doall"
+    strategy: str = "co"
     label: str | None = None
     deadline_ms: int | None = None
 
@@ -120,6 +128,8 @@ class PartitionRequest:
             self.simulate,
             self.sweeps,
             self.engine,
+            self.program,
+            self.strategy,
             self.label,
         )
 
@@ -132,6 +142,8 @@ class PartitionRequest:
             "simulate": self.simulate,
             "sweeps": self.sweeps,
             "engine": self.engine,
+            "program": self.program,
+            "strategy": self.strategy,
         }
         if self.label is not None:
             out["label"] = self.label
@@ -256,6 +268,25 @@ def validate_partition_request(
         field="engine",
     )
 
+    program = payload.get("program", "doall")
+    _require(
+        program in PROGRAMS,
+        f"'program' must be one of {', '.join(PROGRAMS)}; got {program!r}",
+        field="program",
+    )
+
+    strategy = payload.get("strategy", "co")
+    _require(
+        strategy in STRATEGIES,
+        f"'strategy' must be one of {', '.join(STRATEGIES)}; got {strategy!r}",
+        field="strategy",
+    )
+    _require(
+        program == "flow" or "strategy" not in payload,
+        "'strategy' only applies to flow programs (set \"program\": \"flow\")",
+        field="strategy",
+    )
+
     label = payload.get("label")
     if label is not None:
         _require(isinstance(label, str), "'label' must be a string", field="label")
@@ -270,6 +301,8 @@ def validate_partition_request(
         simulate=simulate,
         sweeps=sweeps,
         engine=engine,
+        program=program,
+        strategy=strategy,
         label=label,
         deadline_ms=deadline_ms,
     )

@@ -288,3 +288,72 @@ class TestCheckSubcommand:
         report = load_report(path)
         assert report["schema"] == "repro.check-report"
         assert report["failed"] == 0
+
+
+FLOW_SRC = """\
+Doall (i, 0, N)
+  T[i] = A[i] + A[i + 1]
+EndDoall
+Doall (i, 0, N)
+  B[i] = T[i] + T[i - 1]
+EndDoall
+"""
+
+
+class TestFlowFlag:
+    @pytest.fixture
+    def flow_file(self, tmp_path):
+        f = tmp_path / "pipe.flow"
+        f.write_text(FLOW_SRC)
+        return str(f)
+
+    def test_flow_summary(self, flow_file):
+        code, out = run_cli([flow_file, "--flow", "-p", "4", "-D", "N=15"])
+        assert code == 0
+        assert "flow program: 2 statements" in out
+        assert "S1 -> S2 on T (flow)" in out
+        assert "communication schedule:" in out
+
+    def test_flow_simulate_reports_parity(self, flow_file):
+        code, out = run_cli(
+            [flow_file, "--flow", "-p", "4", "-D", "N=15", "--simulate"]
+        )
+        assert code == 0
+        assert "parity OK" in out
+
+    def test_flow_json_report(self, flow_file, tmp_path):
+        from repro.obs.report import load_report
+
+        path = tmp_path / "flow.json"
+        code, _ = run_cli(
+            [flow_file, "--flow", "-p", "4", "-D", "N=15",
+             "--json-report", str(path)]
+        )
+        assert code == 0
+        report = load_report(path)
+        assert report["program"]["program"] == "flow"
+        assert report["flow"]["schedule"]["digest"]
+
+    def test_flow_strategy_flag(self, flow_file):
+        code, out = run_cli(
+            [flow_file, "--flow", "--flow-strategy", "independent",
+             "-p", "4", "-D", "N=15"]
+        )
+        assert code == 0
+        assert "strategy = independent" in out
+
+    def test_flow_rejection_is_reported(self, tmp_path):
+        f = tmp_path / "bad.flow"
+        f.write_text(
+            "Doall (i, 0, 7)\n  T[i] = 1\nEndDoall\n"
+            "Doall (i, 0, 3)\n  B[i] = T[2i]\nEndDoall\n"
+        )
+        code, out = run_cli([str(f), "--flow", "-p", "2"])
+        assert code == 1
+        assert "error:" in out
+        assert "not uniformly generated" in out
+
+    def test_check_flow_dispatch(self):
+        code, out = run_cli(["check", "--flow", "--cases", "2", "--seed", "0"])
+        assert code == 0
+        assert "2 passed, 0 failed" in out

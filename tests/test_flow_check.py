@@ -1,0 +1,130 @@
+"""``repro check --flow``: generator validity, oracles, corpus replay,
+and fault-injection sensitivity."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.check.flowcheck import (
+    FLOW_CORPUS_SCHEMA,
+    flow_spec_from_dict,
+    flow_spec_to_dict,
+    generate_flow_case,
+    load_flow_corpus,
+    run_flow_case,
+)
+from repro.check.harness import check_main, run_check
+from repro.flow import compile_flow
+
+FLOW_CORPUS = "tests/data/flow_corpus.json"
+
+
+def test_generated_cases_are_deterministic_and_valid():
+    for cid in range(8):
+        a = generate_flow_case(cid, 7)
+        b = generate_flow_case(cid, 7)
+        assert a == b, "generation must be (seed, case_id)-deterministic"
+        # Valid by construction: lowering never rejects a generated case.
+        graph = compile_flow(a.source(), {})
+        assert len(graph.statements) == 2
+        assert a.total_accesses <= 6000
+
+
+def test_generated_case_round_trips_through_dict():
+    spec = generate_flow_case(3, 0)
+    assert flow_spec_from_dict(flow_spec_to_dict(spec)) == spec
+
+
+def test_run_flow_case_all_oracles_green():
+    art = run_flow_case(generate_flow_case(0, 0))
+    assert not art.violations, art.violations
+    assert art.tally.counts == {
+        "flow-parity": 1,
+        "flow-conservation": 1,
+        "flow-schedule-deterministic": 1,
+        "flow-totals-consistent": 1,
+    }
+
+
+def test_pinned_corpus_replays_green():
+    entries = load_flow_corpus(FLOW_CORPUS)
+    assert entries, "pinned flow corpus must not be empty"
+    report = run_check(cases=0, seed=0, corpus_path=FLOW_CORPUS, mode="flow")
+    assert report["failed"] == 0
+    assert report["cases"] == len(entries)
+    assert report["meta"]["mode"] == "flow"
+
+
+def test_corpus_covers_the_edge_case_regimes():
+    specs = [flow_spec_from_dict(e["spec"]) for e in load_flow_corpus(FLOW_CORPUS)]
+    assert any(s.producer_depth < s.depth for s in specs), "imperfect nest"
+    assert any(s.sweeps > 1 for s in specs), "Doseq wrapper"
+    assert any(s.line_size > 1 for s in specs), "multi-element lines"
+    assert {s.strategy for s in specs} == {"co", "independent"}
+
+
+def test_corpus_schema_pinned():
+    doc = json.loads(open(FLOW_CORPUS).read())
+    assert doc["schema"] == FLOW_CORPUS_SCHEMA
+    assert doc["version"] == 1
+
+
+def test_flow_check_run_is_green_and_counts_oracles():
+    report = run_check(cases=12, seed=0, mode="flow")
+    assert report["failed"] == 0, report["failures"]
+    evals = report["invariant_evaluations"]
+    assert evals["flow-parity"] == 12
+    assert evals["flow-conservation"] == 12
+
+
+def test_flow_fault_injection_is_detected():
+    report = run_check(cases=12, seed=0, mode="flow", fault="flow")
+    assert report["failed"] > 0, "the flow fault must trip the oracles"
+    tripped = {f["invariant"] for f in report["failures"]}
+    assert tripped & {"flow-parity", "flow-conservation"}
+    # Failure entries are report-schema compatible (spec + source pinned).
+    f = report["failures"][0]
+    assert f["shrunk_source"]
+    assert flow_spec_from_dict(f["spec"])
+
+
+def test_flow_fault_does_not_leak_outside_context():
+    """After a faulted run, a plain run must be green again."""
+    assert run_check(cases=4, seed=0, mode="flow", fault="flow")["failed"] > 0
+    assert run_check(cases=4, seed=0, mode="flow")["failed"] == 0
+
+
+def test_check_main_flow_flag():
+    out = io.StringIO()
+    rc = check_main(
+        ["--flow", "--cases", "5", "--seed", "0", "--corpus", FLOW_CORPUS],
+        out=out,
+    )
+    text = out.getvalue()
+    assert rc == 0, text
+    assert "flow-parity" in text
+
+
+def test_check_main_flow_fault_self_test():
+    out = io.StringIO()
+    rc = check_main(
+        ["--flow", "--cases", "8", "--seed", "0", "--inject-fault", "flow"],
+        out=out,
+    )
+    assert rc == 1
+    assert "injected deliberately" in out.getvalue()
+
+
+def test_flow_mode_parallel_workers_match_serial():
+    serial = run_check(cases=8, seed=0, mode="flow")
+    parallel = run_check(cases=8, seed=0, mode="flow", workers=2)
+    for key in ("cases", "passed", "failed", "invariant_evaluations"):
+        assert serial[key] == parallel[key]
+
+
+def test_flow_corpus_loader_rejects_doall_corpus():
+    with pytest.raises(ValueError, match="not a flow corpus"):
+        load_flow_corpus("tests/data/check_corpus.json")

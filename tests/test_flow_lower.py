@@ -1,0 +1,134 @@
+"""Flow frontend lowering: statement splitting, dependence edges, typed
+rejection of programs outside the paper's model.
+
+The edge cases are pinned as witnesses in ``tests/data/flow_witnesses.json``
+so the exact source text that exercises each regime stays fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import FlowLoweringError, LoweringError
+from repro.flow import compile_flow, flow_uisets
+
+WITNESSES = json.loads(
+    (Path(__file__).resolve().parent / "data" / "flow_witnesses.json").read_text()
+)["cases"]
+
+
+def _witness(name: str) -> dict:
+    assert name in WITNESSES, f"missing witness {name!r}"
+    return WITNESSES[name]
+
+
+def test_producer_consumer_graph():
+    w = _witness("producer_consumer")
+    graph = compile_flow(w["source"], {})
+    assert len(graph.statements) == w["statements"]
+    assert [s.name for s in graph.statements] == ["S1", "S2"]
+    edges = [
+        [graph.statements[e.producer].name, graph.statements[e.consumer].name,
+         e.array, e.kind]
+        for e in graph.edges
+    ]
+    assert edges == w["edges"]
+    # Every statement's synthetic nest is perfect and 2-deep.
+    assert all(s.nest.depth == 2 for s in graph.statements)
+
+
+def test_non_uniform_dependence_rejected_with_location():
+    w = _witness("non_uniform")
+    with pytest.raises(FlowLoweringError) as exc:
+        compile_flow(w["source"], {})
+    assert w["message_contains"] in str(exc.value)
+    assert exc.value.line == w["line"]
+    assert exc.value.column is not None
+    # The typed error is still a LoweringError for generic handlers.
+    assert isinstance(exc.value, LoweringError)
+
+
+def test_rank_mismatch_rejected_with_location():
+    w = _witness("rank_mismatch")
+    with pytest.raises(FlowLoweringError) as exc:
+        compile_flow(w["source"], {})
+    assert w["message_contains"] in str(exc.value)
+    assert exc.value.line == w["line"]
+
+
+def test_write_after_write_edges():
+    w = _witness("write_after_write")
+    graph = compile_flow(w["source"], {})
+    assert len(graph.statements) == w["statements"]
+    edges = sorted(
+        [graph.statements[e.producer].name, graph.statements[e.consumer].name,
+         e.array, e.kind]
+        for e in graph.edges
+    )
+    assert edges == sorted(w["edges"])
+    # flow_edges filters to true dataflow only.
+    assert all(e.kind == "flow" for e in graph.flow_edges)
+    assert len(graph.flow_edges) == 2
+
+
+def test_doseq_wrapped_flow_program():
+    w = _witness("doseq_wrapped")
+    graph = compile_flow(w["source"], {})
+    assert [s.sweeps for s in graph.statements] == w["sweeps"]
+    # Each distributed statement keeps its own Doseq wrapper.
+    assert all(s.nest.sequential_loops for s in graph.statements)
+
+
+def test_imperfect_pipeline_mixed_depths():
+    w = _witness("imperfect_pipeline")
+    graph = compile_flow(w["source"], {})
+    assert [s.nest.depth for s in graph.statements] == w["depths"]
+    edges = [
+        [graph.statements[e.producer].name, graph.statements[e.consumer].name,
+         e.array, e.kind]
+        for e in graph.edges
+    ]
+    assert edges == w["edges"]
+
+
+def test_empty_program_rejected():
+    with pytest.raises(FlowLoweringError):
+        compile_flow("Doall (i, 0, 3)\nEndDoall\n", {})
+
+
+def test_bindings_resolve_symbolic_extents():
+    src = (
+        "Doall (i, 0, N)\n  T[i] = A[i]\nEndDoall\n"
+        "Doall (i, 0, N)\n  B[i] = T[i - 1]\nEndDoall\n"
+    )
+    graph = compile_flow(src, {"N": 9})
+    assert all(int(s.nest.space.extents[0]) == 10 for s in graph.statements)
+    assert len(graph.flow_edges) == 1
+
+
+def test_disjoint_arrays_have_no_edges():
+    src = (
+        "Doall (i, 0, 7)\n  T[i] = A[i]\nEndDoall\n"
+        "Doall (i, 0, 7)\n  B[i] = C[i]\nEndDoall\n"
+    )
+    graph = compile_flow(src, {})
+    assert graph.edges == ()
+
+
+def test_flow_uisets_group_across_statements():
+    w = _witness("producer_consumer")
+    graph = compile_flow(w["source"], {})
+    sets = flow_uisets(graph)
+    by_array: dict[str, int] = {}
+    for s in sets:
+        by_array[s.accesses[0].ref.array] = by_array.get(
+            s.accesses[0].ref.array, 0
+        ) + 1
+    # T's producer write and both consumer reads coalesce into ONE
+    # cross-statement class — the property co-partitioning prices.
+    assert by_array["T"] == 1
+    t_class = next(s for s in sets if s.accesses[0].ref.array == "T")
+    assert len(t_class.accesses) == 3

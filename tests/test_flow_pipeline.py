@@ -1,0 +1,211 @@
+"""Flow pipeline: co-partitioning, communication schedules, replay parity.
+
+The load-bearing property throughout: the schedule (tile-footprint
+enumeration) and the replay (event-level stream walk) are independent
+code paths that must agree on the distinct-remote-lines-per-processor
+counts — and co-partitioning must never lose to independent partitioning
+on total predicted traffic for an aligned pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.flow import (
+    FLOW_SCHEDULE_SCHEMA,
+    build_schedule,
+    compile_flow,
+    measure_transfers,
+    partition_flow,
+    run_flow,
+    simulate_flow,
+)
+
+#: A pipeline whose handoff spread is along i: independent partitioning
+#: is free to pick mismatched grids, co-partitioning must align them.
+MISALIGNED = (
+    "Doall (i, 0, 15)\n  Doall (j, 0, 3)\n"
+    "    T[i, j] = A[i, j] + A[i, j + 1]\n"
+    "  EndDoall\nEndDoall\n"
+    "Doall (i, 0, 15)\n  Doall (j, 0, 3)\n"
+    "    B[i, j] = T[i, j] + T[i + 1, j]\n"
+    "  EndDoall\nEndDoall\n"
+)
+
+PIPELINE = (
+    "Doall (i, 0, 11)\n  Doall (j, 0, 11)\n"
+    "    T[i, j] = A[i, j] + A[i + 1, j] + A[i, j + 1]\n"
+    "  EndDoall\nEndDoall\n"
+    "Doall (i, 0, 11)\n  Doall (j, 0, 11)\n"
+    "    B[i, j] = T[i, j] + T[i + 1, j]\n"
+    "  EndDoall\nEndDoall\n"
+)
+
+
+@pytest.mark.parametrize("strategy", ["co", "independent"])
+def test_schedule_replay_parity(strategy):
+    graph = compile_flow(PIPELINE, {})
+    part = partition_flow(graph, 4, strategy=strategy)
+    sched = build_schedule(graph, part, processors=4)
+    sim = simulate_flow(graph, part, processors=4)
+    assert sched["totals"]["per_consumer"] == sim.transfers["per_consumer"]
+
+
+def test_parity_with_line_size_and_imperfect_nest():
+    src = (
+        "Doall (i, 0, 11)\n  T[i] = A[i]\nEndDoall\n"
+        "Doall (i, 0, 11)\n  Doall (j, 0, 5)\n"
+        "    B[i, j] = T[i] + T[i + 1]\n  EndDoall\nEndDoall\n"
+    )
+    graph = compile_flow(src, {})
+    part = partition_flow(graph, 3, strategy="co")
+    sched = build_schedule(graph, part, processors=3, line_size=4)
+    sim = simulate_flow(graph, part, processors=3, line_size=4)
+    assert sched["totals"]["per_consumer"] == sim.transfers["per_consumer"]
+
+
+def test_co_partitioning_beats_independent_on_misaligned_pipeline():
+    graph = compile_flow(MISALIGNED, {})
+    indep = partition_flow(graph, 4, strategy="independent")
+    co = partition_flow(graph, 4, strategy="co")
+    s_i = build_schedule(graph, indep, processors=4)
+    s_c = build_schedule(graph, co, processors=4)
+    assert s_i["totals"]["remote_lines"] > 0, "misaligned case must transfer"
+    assert s_c["totals"]["remote_lines"] < s_i["totals"]["remote_lines"]
+    # (The analytic proxies are not comparable across strategies: the
+    # transfer proxy assumes aligned tiles, which only `co` guarantees —
+    # the line-exact schedule above is the authoritative comparison.)
+    assert co.candidates_scored > 0
+
+
+def test_co_aligns_equal_depth_statement_grids():
+    graph = compile_flow(MISALIGNED, {})
+    co = partition_flow(graph, 4, strategy="co")
+    grids = {sp.result.grid for sp in co.statements}
+    assert len(grids) == 1, f"co strategy must share one grid, got {grids}"
+
+
+def test_schedule_document_shape_and_determinism():
+    graph = compile_flow(PIPELINE, {})
+    part = partition_flow(graph, 4)
+    a = build_schedule(graph, part, processors=4)
+    b = build_schedule(graph, part, processors=4, include_lines=True)
+    assert a["schema"] == FLOW_SCHEDULE_SCHEMA
+    assert a["version"] == 1
+    assert a["digest"] == b["digest"], "digest must ignore embedded lines"
+    assert all("line_keys" in row for row in b["transfers"])
+    assert all("line_keys" not in row for row in a["transfers"])
+    row_sum = sum(r["lines"] for r in a["transfers"])
+    assert a["totals"]["transfer_lines"] == row_sum
+    assert a["totals"]["remote_lines"] == sum(
+        n for per in a["totals"]["per_consumer"].values() for n in per.values()
+    )
+
+
+def test_schedule_iteration_budget_enforced():
+    graph = compile_flow(PIPELINE, {})
+    part = partition_flow(graph, 4)
+    with pytest.raises(PartitionError):
+        build_schedule(graph, part, processors=4, max_iterations=10)
+
+
+def test_measured_transfers_count_distinct_lines_once():
+    graph = compile_flow(PIPELINE, {})
+    part = partition_flow(graph, 4, strategy="independent")
+    sim = simulate_flow(graph, part, processors=4, collect_lines=True)
+    t = sim.transfers
+    assert t["per_consumer"], "independent grids on this pipeline must transfer"
+    for stmt, per in t["lines"].items():
+        for p, lines in per.items():
+            keys = {(a, tuple(c)) for a, c in lines}
+            assert len(keys) == len(lines), "collected lines must be distinct"
+            assert len(keys) == t["per_consumer"][stmt][p]
+
+
+def test_replay_phases_cover_every_statement_round():
+    graph = compile_flow(PIPELINE, {})
+    part = partition_flow(graph, 4)
+    sim = simulate_flow(graph, part, processors=4, sweeps=2)
+    assert [(p.statement, p.round) for p in sim.phases] == [
+        ("S1", 0), ("S2", 0), ("S1", 1), ("S2", 1)
+    ]
+    assert all(p.accesses > 0 for p in sim.phases)
+    # The consumer's coherence misses are the scheduled handoff (plus
+    # steady-state recurrence under sweeps); they must be nonzero when
+    # the schedule predicts transfers.
+    sched = build_schedule(graph, part, processors=4)
+    if sched["totals"]["remote_lines"]:
+        s2 = [p for p in sim.phases if p.statement == "S2"]
+        assert any(p.coherence_misses > 0 for p in s2)
+
+
+def test_measure_transfers_ignores_first_statement_reads():
+    graph = compile_flow(PIPELINE, {})
+    part = partition_flow(graph, 4)
+    sim = simulate_flow(graph, part, processors=4)
+    # S1 reads only A, which no statement wrote: never a transfer.
+    assert "S1" not in sim.transfers["per_consumer"]
+
+
+def test_run_flow_report_sections():
+    report = run_flow(
+        PIPELINE, processors=4, simulate=True, label="pipeline-test"
+    )
+    assert report["schema"] == "repro.run-report"
+    assert report["program"]["program"] == "flow"
+    assert report["program"]["source"] == "pipeline-test"
+    flow = report["flow"]
+    assert flow["strategy"] == "co"
+    assert len(flow["statements"]) == 2
+    for st in flow["statements"]:
+        assert st["partition"]["tile_sides"]
+        assert "predicted" in st
+    assert flow["schedule"]["schema"] == FLOW_SCHEDULE_SCHEMA
+    assert flow["parity"]["match"] is True
+    assert flow["phases"]
+    # Predicted section exists at top level too (combined estimate).
+    assert report["predicted"]
+
+
+def test_run_flow_truncates_large_transfer_lists():
+    report = run_flow(MISALIGNED, processors=4, max_transfer_rows=0)
+    sched = report["flow"]["schedule"]
+    assert sched["transfers"] == []
+    assert sched["transfers_truncated"] > 0
+    assert sched["digest"]
+
+
+def test_unknown_strategy_rejected():
+    graph = compile_flow(PIPELINE, {})
+    with pytest.raises(PartitionError):
+        partition_flow(graph, 4, strategy="magic")
+
+
+def test_measure_transfers_is_stream_independent_of_schedule():
+    """The differential is genuine: feed measure_transfers hand-built
+    streams and confirm the ownership rule (a writer never fetches its
+    own line) directly."""
+    import numpy as np
+
+    from repro.sim.trace import RefStream
+
+    graph = compile_flow(
+        "Doall (i, 0, 3)\n  T[i] = 1\nEndDoall\n"
+        "Doall (i, 0, 3)\n  B[i] = T[i]\nEndDoall\n",
+        {},
+    )
+    streams = {
+        "S1": {
+            0: [RefStream("T", "write", np.array([[0], [1]]))],
+            1: [RefStream("T", "write", np.array([[2], [3]]))],
+        },
+        "S2": {
+            # proc 0 reads what proc 1 wrote and vice versa: all remote.
+            0: [RefStream("T", "read", np.array([[2], [3]]))],
+            1: [RefStream("T", "read", np.array([[0], [1]]))],
+        },
+    }
+    t = measure_transfers(graph, streams, 2, 1)
+    assert t["per_consumer"] == {"S2": {"0": 2, "1": 2}}
+    assert t["remote_lines"] == 4

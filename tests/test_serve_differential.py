@@ -145,6 +145,50 @@ def _flatten(spans):
         yield from _flatten(s.get("children", []))
 
 
+#: (strategy, simulate) — the flow contract holds for both tile-selection
+#: strategies, with and without the end-to-end replay.
+FLOW_CASES = [("co", True), ("independent", True), ("co", False)]
+
+
+@pytest.mark.parametrize("strategy,simulate", FLOW_CASES)
+def test_serve_flow_matches_cli_json_report(server, tmp_path, strategy, simulate):
+    """``"program": "flow"`` responses are the CLI ``--flow`` pipeline
+    behind a socket — byte-identical reports, flow section included."""
+    path = EXAMPLES_DIR / "pipeline.flow"
+    assert path.exists(), f"missing example program {path}"
+
+    report_path = tmp_path / "cli.json"
+    argv = [
+        str(path), "--flow", "-p", "4", "-D", "N=12",
+        "--flow-strategy", strategy,
+        "--json-report", str(report_path),
+    ]
+    if simulate:
+        argv += ["--simulate"]
+    import io
+
+    assert cli_main(argv, out=io.StringIO()) == 0
+    cli_report = json.loads(report_path.read_text())
+
+    with ServeClient("127.0.0.1", server.port) as client:
+        serve_report = client.partition(
+            path.read_text(),
+            4,
+            bindings={"N": 12},
+            simulate=simulate or None,
+            program="flow",
+            strategy=strategy,
+            label=str(path),
+        )
+
+    assert _normalize(serve_report) == _normalize(cli_report)
+    flow = serve_report["flow"]
+    assert flow["strategy"] == strategy
+    assert flow["schedule"]["digest"]
+    if simulate:
+        assert flow["parity"]["match"] is True
+
+
 def test_normalization_is_not_vacuous(server):
     """Guard the guard: _normalize must keep the load-bearing sections."""
     path = EXAMPLES_DIR / "example3.doall"

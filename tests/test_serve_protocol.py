@@ -57,6 +57,9 @@ class TestValidation:
             ({"bindings": {"": 2}}, "bindings"),
             ({"method": "hexagonal"}, "method"),
             ({"engine": "warp"}, "engine"),
+            ({"program": "dataflow"}, "program"),
+            ({"program": "flow", "strategy": "aligned"}, "strategy"),
+            ({"strategy": "co"}, "strategy"),
             ({"simulate": "yes"}, "simulate"),
             ({"sweeps": 0}, "sweeps"),
             ({"sweeps": 10_000}, "sweeps"),
@@ -85,6 +88,25 @@ class TestValidation:
         with pytest.raises(ProtocolError, match="JSON object"):
             validate_partition_request([1, 2])
 
+    def test_flow_program_fields(self):
+        r = validate_partition_request(
+            _body(program="flow", strategy="independent")
+        )
+        assert r.program == "flow" and r.strategy == "independent"
+        d = r.to_dict()
+        assert d["program"] == "flow" and d["strategy"] == "independent"
+        # Defaults: doall program, co strategy (inert without flow).
+        base = validate_partition_request(_body())
+        assert base.program == "doall" and base.strategy == "co"
+
+    def test_strategy_requires_flow_program(self):
+        # Explicit strategy on a doall request is a typo trap: reject.
+        with pytest.raises(ProtocolError, match="only applies to flow"):
+            validate_partition_request(_body(strategy="independent"))
+        # But the default strategy on a flow request is fine.
+        r = validate_partition_request(_body(program="flow"))
+        assert r.strategy == "co"
+
     def test_force_simulate_route(self):
         r = validate_partition_request(_body(), force_simulate=True)
         assert r.simulate
@@ -109,6 +131,8 @@ class TestCanonicalKey:
             {"engine": "exact"},
             {"label": "other"},
             {"bindings": {"N": 2}},
+            {"program": "flow"},
+            {"program": "flow", "strategy": "independent"},
         ):
             other = validate_partition_request(_body(**overrides))
             assert other.canonical_key != base

@@ -268,3 +268,47 @@ class TestDrain:
             conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
             conn.request("GET", "/healthz")
             conn.getresponse()
+
+
+class TestFlowFamilies:
+    def test_flow_family_corpus_shape(self):
+        from repro.serve.loadgen import flow_family_corpus
+
+        corpus = flow_family_corpus(0, 2, 2)
+        assert len(corpus) == 4
+        sources = {source for _, source, _, _, _ in corpus}
+        assert len(sources) == 1, "one structure per family"
+        labels = [label for label, *_ in corpus]
+        assert len(set(labels)) == len(labels)
+        for _, _, bindings, processors, extra in corpus:
+            assert bindings["N"] >= 1 and processors >= 1
+            assert extra == {"program": "flow", "strategy": "co"}
+        # Different families use different offsets (distinct structures).
+        other = flow_family_corpus(1, 1, 1)
+        assert other[0][1] not in sources
+
+    def test_flow_family_sweep_hits_the_plan_cache(self):
+        from repro.serve.loadgen import run_family_sweep
+
+        with EmbeddedServer(
+            ServeConfig(port=0, workers=1, plan_cache=True)
+        ) as emb:
+            stats = run_family_sweep(
+                host="127.0.0.1",
+                port=emb.port,
+                clients=2,
+                families=1,
+                n_variants=2,
+                p_variants=2,
+                flow=True,
+            )
+        assert stats["error_count"] == 0, stats
+        (fam,) = stats["families"]
+        assert fam["program"] == "flow"
+        assert fam["completed"] == fam["requests"] == 4
+        # One closed-form solve per statement structure; every later
+        # variant instantiates from the plan tier.
+        plan = fam["plan"]
+        assert plan["misses"] == 2, plan
+        assert plan["hits"] >= plan["misses"], plan
+        assert plan["fallbacks"] == 0, plan
